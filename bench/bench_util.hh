@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark harness binaries: the cached
+ * 678-loop suite, sweep execution and paper-style table printing.
+ * Every bench prints (a) the measured numbers and (b) the
+ * corresponding claim from the paper, so EXPERIMENTS.md can record
+ * paper-vs-measured directly from the output.
+ */
+
+#ifndef CVLIW_BENCH_BENCH_UTIL_HH
+#define CVLIW_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.hh"
+
+namespace cvliw
+{
+namespace benchutil
+{
+
+/** The full suite, built once per process (seed 42). */
+const std::vector<Loop> &suite();
+
+/** Loops of a single benchmark (view into suite()). */
+std::vector<Loop> benchmarkLoops(const std::string &name);
+
+/** Worker threads (env CVLIW_THREADS overrides the core count). */
+int threads();
+
+/** Run the whole suite on @p config with @p opts. */
+SuiteResult run(const std::string &config,
+                const PipelineOptions &opts = {});
+
+/** Run a subset of loops. */
+SuiteResult run(const std::vector<Loop> &loops,
+                const std::string &config,
+                const PipelineOptions &opts = {});
+
+/** The paper's benchmark order (tomcatv ... wave5). */
+const std::vector<std::string> &paperOrder();
+
+/**
+ * Print an IPC table in the layout of Figure 7: one row per
+ * benchmark plus HMEAN, one column per labelled result set.
+ */
+void printIpcTable(const std::vector<Loop> &loops,
+                   const std::vector<std::string> &labels,
+                   const std::vector<SuiteResult> &results);
+
+/** Print a one-line banner with the binary's purpose. */
+void banner(const std::string &title, const std::string &paper_ref);
+
+} // namespace benchutil
+} // namespace cvliw
+
+#endif // CVLIW_BENCH_BENCH_UTIL_HH

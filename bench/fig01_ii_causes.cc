@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 1: causes for increasing the II beyond the MII under the
+ * baseline (no-replication) scheduler. The paper reports, for
+ * 2c1b2l64r / 4c1b2l64r / 4c2b2l64r, that 70-90% of the II increases
+ * are due to bus (communication) pressure, 2-4% to recurrences, and
+ * the rest to register pressure.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+using namespace cvliw;
+
+int
+main()
+{
+    benchutil::banner(
+        "Figure 1: causes for increasing the II beyond MII",
+        "Figure 1 (bus 70-90%, recurrences 2-4%, registers rest)");
+
+    TextTable table;
+    table.addRow({"config", "bus", "recurrences", "registers",
+                  "loops II>MII"});
+
+    for (const char *cfg :
+         {"2c1b2l64r", "4c1b2l64r", "4c2b2l64r"}) {
+        PipelineOptions base;
+        base.replication = false;
+        // Figure 1 measures the paper's baseline scheduler, which
+        // answers register pressure only by raising the II (no
+        // on-demand spill code).
+        base.spilling = false;
+        const auto res = benchutil::run(cfg, base);
+
+        // Weight each II increment by the loop's dynamic weight so
+        // hot loops dominate, as in a time-based attribution.
+        double bus = 0, rec = 0, reg = 0;
+        int raised = 0;
+        const auto &loops = benchutil::suite();
+        for (std::size_t i = 0; i < loops.size(); ++i) {
+            const auto &r = res.loops[i];
+            // Loops that ultimately fail (register pressure beyond
+            // any II, since spilling is off here) still increased
+            // their II for real reasons along the way.
+            const double w = loops[i].profile.visits *
+                             loops[i].profile.avgIters;
+            raised += !r.iiIncreases.empty();
+            for (const FailCause c : r.iiIncreases) {
+                switch (c) {
+                  case FailCause::Bus:
+                  case FailCause::Resources:
+                    // Resource-packing failures originate from the
+                    // partition squeezing ops to cut communication;
+                    // the paper folds them into the bus share.
+                    bus += w;
+                    break;
+                  case FailCause::Recurrence:
+                    rec += w;
+                    break;
+                  case FailCause::Registers:
+                    reg += w;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+        const double total = bus + rec + reg;
+        table.addRow({cfg,
+                      total ? percent(bus / total) : "0%",
+                      total ? percent(rec / total) : "0%",
+                      total ? percent(reg / total) : "0%",
+                      std::to_string(raised)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: bus dominates at 70-90% on every "
+                 "configuration; recurrences stay at 2-4%.\n";
+    return 0;
+}

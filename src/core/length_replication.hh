@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Section 5.1: replication aimed at the schedule length rather than
+ * the II. For low-trip-count loops (applu) the prolog/epilog cost
+ * (SC stages) dominates, so removing a bus latency from the critical
+ * path of one iteration matters more than the II. The producer is
+ * replicated only into the cluster where the critical consumer
+ * lives; the communication itself may survive for other clusters.
+ */
+
+#ifndef CVLIW_CORE_LENGTH_REPLICATION_HH
+#define CVLIW_CORE_LENGTH_REPLICATION_HH
+
+#include "core/pipeline.hh"
+
+namespace cvliw
+{
+
+struct CompileResult;
+
+/**
+ * Try to shorten result.schedule.length by replicating producers of
+ * critical copies (bounded number of attempts). On success, the
+ * result's schedule/graph/partition are replaced and
+ * result.lengthSaved records the improvement.
+ *
+ * @param result a successful compile at some II (updated in place)
+ * @param pre_copy the final graph *before* copy insertion
+ * @param pre_copy_part partition matching @p pre_copy
+ */
+void reduceScheduleLength(CompileResult &result, const Ddg &pre_copy,
+                          const Partition &pre_copy_part,
+                          const MachineConfig &mach,
+                          const SchedulerOptions &sched_opts);
+
+} // namespace cvliw
+
+#endif // CVLIW_CORE_LENGTH_REPLICATION_HH

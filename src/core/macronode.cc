@@ -1,0 +1,48 @@
+#include "core/macronode.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+double
+replicasPerRemovedCom(const CompileResult &r)
+{
+    if (r.repl.comsRemoved == 0)
+        return 0.0;
+    return static_cast<double>(r.repl.replicasAdded) /
+           r.repl.comsRemoved;
+}
+
+} // namespace
+
+double
+ModeComparison::minWeightCost() const
+{
+    return replicasPerRemovedCom(minWeight);
+}
+
+double
+ModeComparison::macroNodeCost() const
+{
+    return replicasPerRemovedCom(macroNode);
+}
+
+ModeComparison
+compareReplicationModes(const Ddg &ddg, const MachineConfig &mach)
+{
+    ModeComparison cmp;
+
+    PipelineOptions min_weight;
+    min_weight.mode = ReplicationMode::MinWeight;
+    cmp.minWeight = compile(ddg, mach, min_weight);
+
+    PipelineOptions macro;
+    macro.mode = ReplicationMode::MacroNode;
+    cmp.macroNode = compile(ddg, mach, macro);
+
+    return cmp;
+}
+
+} // namespace cvliw

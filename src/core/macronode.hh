@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Section 5.2 support: compare the paper's minimum-weight subgraph
+ * replication against replicating whole coarsening macro-nodes. The
+ * paper found macro-node replication ineffective ("too many
+ * unnecessary instructions were replicated"); the ablation benchmark
+ * reproduces that conclusion.
+ */
+
+#ifndef CVLIW_CORE_MACRONODE_HH
+#define CVLIW_CORE_MACRONODE_HH
+
+#include "core/pipeline.hh"
+
+namespace cvliw
+{
+
+/** Side-by-side outcome of the two replication modes on one loop. */
+struct ModeComparison
+{
+    CompileResult minWeight;
+    CompileResult macroNode;
+
+    /** Replicas created per removed communication, per mode. */
+    double minWeightCost() const;
+    double macroNodeCost() const;
+};
+
+/** Run both replication modes on @p ddg. */
+ModeComparison compareReplicationModes(const Ddg &ddg,
+                                       const MachineConfig &mach);
+
+} // namespace cvliw
+
+#endif // CVLIW_CORE_MACRONODE_HH

@@ -1,0 +1,187 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/length_replication.hh"
+#include "core/spill.hh"
+#include "partition/multilevel.hh"
+#include "partition/refine.hh"
+#include "sched/comms.hh"
+#include "sched/copies.hh"
+#include "sched/mii.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+double
+CompileResult::cycles(double iterations, double visits) const
+{
+    const double n = std::max(1.0, iterations);
+    return visits * (n - 1.0 + schedule.stageCount) * ii;
+}
+
+double
+CompileResult::ipc(double iterations, double visits) const
+{
+    const double c = cycles(iterations, visits);
+    if (c <= 0.0)
+        return 0.0;
+    return usefulOps * std::max(1.0, iterations) * visits / c;
+}
+
+namespace
+{
+
+/** Does every (kind, cluster) fit into available * II slots? */
+bool
+clusterCapacityOk(const Ddg &ddg, const MachineConfig &mach,
+                  const Partition &part, int ii)
+{
+    const auto usage = part.usage(ddg, mach);
+    constexpr auto num_kinds =
+        static_cast<std::size_t>(ResourceKind::NumResourceKinds);
+    for (std::size_t k = 0; k < num_kinds; ++k) {
+        const auto kind = static_cast<ResourceKind>(k);
+        if (kind == ResourceKind::Bus)
+            continue;
+        for (int c = 0; c < mach.numClusters(); ++c) {
+            if (usage[k][c] == 0)
+                continue;
+            if (usage[k][c] > mach.available(kind) * ii)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+CompileResult
+compile(const Ddg &original, const MachineConfig &mach,
+        const PipelineOptions &opts)
+{
+    CompileResult result;
+    result.mii = minimumIi(original, mach);
+    result.usefulOps = original.numNodes();
+
+    PartitionResult pr = multilevelPartition(original, mach,
+                                             result.mii);
+
+    SchedulerOptions sched_opts;
+    sched_opts.zeroBusLatencyForLength = opts.zeroBusLatency;
+
+    int reg_stagnation = 0;
+    int best_worst_live = std::numeric_limits<int>::max();
+
+    for (int ii = result.mii; ii <= opts.maxIi; ++ii) {
+        if (ii > result.mii) {
+            // Figure 2: more slots per cluster, so refine.
+            pr.partition = refinePartition(original, mach,
+                                           pr.partition, ii);
+        }
+
+        Ddg work = original;
+        Partition part = pr.partition;
+        ReplicationStats rstats;
+
+        auto bump = [&](FailCause cause) {
+            result.iiIncreases.push_back(cause);
+        };
+
+        if (!mach.isUnified()) {
+            bool repl_ok = true;
+            if (opts.replication) {
+                repl_ok = reduceCommunications(
+                    work, part, mach, ii, &rstats, opts.mode,
+                    &pr.hierarchy);
+            } else {
+                rstats.comsInitial =
+                    findCommunications(work, part.vec()).count();
+            }
+            const CommInfo comms =
+                findCommunications(work, part.vec());
+            if (!repl_ok ||
+                extraComs(comms.count(), mach, ii) > 0) {
+                bump(FailCause::Bus);
+                continue;
+            }
+            if (!clusterCapacityOk(work, mach, part, ii)) {
+                bump(FailCause::Resources);
+                continue;
+            }
+            result.comsFinal = comms.count();
+        } else {
+            result.comsFinal = 0;
+        }
+
+        // Keep the pre-copy graph: section 5.1 replication works on
+        // it after a successful schedule.
+        Ddg pre_copy = work;
+        Partition pre_copy_part = part;
+
+        insertCopies(work, part, mach);
+        ScheduleAttempt attempt =
+            scheduleAtIi(work, mach, part, ii, sched_opts);
+
+        // Register pressure that the II cannot cure is fixed with
+        // spill code (store after definition, reload at the distant
+        // consumers), exactly like the substrate compiler would.
+        int spills_done = 0;
+        int spill_budget =
+            opts.spilling ? 4 * mach.numClusters() + 8 : 0;
+        while (!attempt.ok &&
+               attempt.cause == FailCause::Registers &&
+               spill_budget-- > 0 &&
+               spillOneValue(work, part, mach, attempt.sched)) {
+            ++spills_done;
+            attempt = scheduleAtIi(work, mach, part, ii, sched_opts);
+        }
+
+        if (!attempt.ok) {
+            if (attempt.cause == FailCause::Registers &&
+                !attempt.sched.maxLive.empty()) {
+                const int worst = *std::max_element(
+                    attempt.sched.maxLive.begin(),
+                    attempt.sched.maxLive.end());
+                if (worst < best_worst_live) {
+                    best_worst_live = worst;
+                    reg_stagnation = 0;
+                } else if (++reg_stagnation >=
+                           opts.registerStagnationLimit) {
+                    cv_warn("register pressure stuck at ", worst,
+                            " > ", mach.regsPerCluster(),
+                            " regs/cluster; giving up (no spill "
+                            "model)");
+                    result.ok = false;
+                    return result;
+                }
+            } else {
+                reg_stagnation = 0;
+            }
+            bump(attempt.cause);
+            continue;
+        }
+
+        result.ok = true;
+        result.ii = ii;
+        result.spills = spills_done;
+        result.schedule = attempt.sched;
+        result.finalDdg = std::move(work);
+        result.partition = std::move(part);
+        result.repl = rstats;
+
+        if (opts.lengthReplication && !mach.isUnified()) {
+            reduceScheduleLength(result, pre_copy, pre_copy_part,
+                                 mach, sched_opts);
+        }
+        return result;
+    }
+
+    cv_warn("pipeline gave up at II cap ", opts.maxIi);
+    result.ok = false;
+    return result;
+}
+
+} // namespace cvliw

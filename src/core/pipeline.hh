@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The complete compilation pipeline of the paper (Figure 2 extended
+ * with section 3): starting at II = MII, partition the DDG; if the
+ * partition implies more communications than the buses can carry,
+ * replicate subgraphs until they fit (or fail); insert copies;
+ * modulo-schedule without backtracking; on any failure raise the II,
+ * refine the partition and retry. Every II increase records its
+ * cause (bus / recurrence / registers / resources) for Figure 1.
+ */
+
+#ifndef CVLIW_CORE_PIPELINE_HH
+#define CVLIW_CORE_PIPELINE_HH
+
+#include <vector>
+
+#include "core/replicator.hh"
+#include "sched/scheduler.hh"
+
+namespace cvliw
+{
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    /** Enable the paper's replication algorithm (section 3). */
+    bool replication = true;
+
+    /** Figure-12 bound: copies keep II impact but zero latency. */
+    bool zeroBusLatency = false;
+
+    /** Section 5.1: post-schedule replication to shorten the epilog. */
+    bool lengthReplication = false;
+
+    /**
+     * Generate spill code when register pressure cannot be cured by
+     * raising the II. The paper's Figure 1 measures the pure
+     * II-increase behaviour, so the fig01 harness disables this.
+     */
+    bool spilling = true;
+
+    /** Subgraph selection (MacroNode reproduces section 5.2). */
+    ReplicationMode mode = ReplicationMode::MinWeight;
+
+    /** Hard II cap (safety net; never reached by sane inputs). */
+    int maxIi = 2048;
+
+    /**
+     * Give up early when register pressure stops improving: raising
+     * the II shrinks lifetime *overlap*, but a cluster whose
+     * single-iteration width exceeds its register file can never fit
+     * without spill code (which, like the paper, we do not model).
+     * After this many consecutive register-caused increments with no
+     * MaxLive improvement the loop is reported as failed.
+     */
+    int registerStagnationLimit = 24;
+};
+
+/** Everything the pipeline produced for one loop. */
+struct CompileResult
+{
+    bool ok = false;
+    int mii = 0;          //!< lower bound (max of ResMII, RecMII)
+    int ii = 0;           //!< achieved initiation interval
+    Schedule schedule;    //!< over finalDdg
+    Ddg finalDdg;         //!< original + replicas + copies
+    Partition partition;  //!< covers every node of finalDdg
+    ReplicationStats repl;//!< replication statistics at the final II
+    /** Cause of each II increment beyond MII, in order. */
+    std::vector<FailCause> iiIncreases;
+    int comsFinal = 0;    //!< communications in the final code
+    int usefulOps = 0;    //!< static op count of the original loop
+    int lengthSaved = 0;  //!< cycles removed by section-5.1 replication
+    int spills = 0;       //!< values spilled to fit the register file
+
+    /** Useful dynamic ops per cycle for a given iteration count. */
+    double ipc(double iterations, double visits = 1.0) const;
+
+    /** Execution cycles: visits * (N - 1 + SC) * II. */
+    double cycles(double iterations, double visits = 1.0) const;
+};
+
+/**
+ * Compile @p original for @p mach.
+ * The input graph is copied; the caller's DDG is never modified.
+ */
+CompileResult compile(const Ddg &original, const MachineConfig &mach,
+                      const PipelineOptions &opts = {});
+
+} // namespace cvliw
+
+#endif // CVLIW_CORE_PIPELINE_HH

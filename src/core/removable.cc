@@ -1,0 +1,59 @@
+#include "core/removable.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+std::vector<NodeId>
+findRemovableInstructions(const Ddg &ddg, const Partition &part,
+                          NodeId com,
+                          const std::vector<bool> &communicated)
+{
+    const int home = part.clusterOf(com);
+    std::vector<bool> removable(ddg.numNodeSlots(), false);
+    std::vector<NodeId> worklist{com};
+
+    auto try_remove = [&](NodeId v) {
+        if (removable[v])
+            return false;
+        const DdgNode &node = ddg.node(v);
+        if (node.cls == OpClass::Store || node.liveOut)
+            return false;
+        // Removable when every same-cluster consumer is removable
+        // (remote consumers read replicas or the bus broadcast).
+        for (NodeId w : ddg.flowSuccs(v)) {
+            if (part.clusterOf(w) == home && !removable[w])
+                return false;
+        }
+        removable[v] = true;
+        return true;
+    };
+
+    while (!worklist.empty()) {
+        const NodeId v = worklist.back();
+        worklist.pop_back();
+        if (!try_remove(v))
+            continue;
+        // Figure 5: parents in the same cluster become candidates.
+        // Do not propagate through other communicated values: their
+        // parents belong to those values' own subgraphs (section 3.4).
+        if (v != com && communicated[v])
+            continue;
+        for (NodeId p : ddg.flowPreds(v)) {
+            if (part.clusterOf(p) == home && !removable[p])
+                worklist.push_back(p);
+        }
+    }
+
+    std::vector<NodeId> out;
+    for (NodeId n = 0; n < ddg.numNodeSlots(); ++n) {
+        if (removable[n])
+            out.push_back(n);
+    }
+    return out;
+}
+
+} // namespace cvliw

@@ -1,0 +1,268 @@
+#include "core/replicator.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/removable.hh"
+#include "core/weights.hh"
+#include "sched/comms.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+/** Track a replica in the Figure-10 category counters. */
+void
+countReplica(ReplicationStats *stats, OpClass cls)
+{
+    if (!stats)
+        return;
+    ++stats->replicasAdded;
+    switch (categoryOf(cls)) {
+      case OpCategory::Mem: ++stats->replicasByCat[0]; break;
+      case OpCategory::Int: ++stats->replicasByCat[1]; break;
+      case OpCategory::Fp:  ++stats->replicasByCat[2]; break;
+      default: break;
+    }
+}
+
+/**
+ * Create the replicas of @p sg, wire their operands, and rewire the
+ * consumers of sg.com in the subgraph's target clusters to the local
+ * instances. Returns the list of clusters whose consumers were
+ * rewired (== sg.targetClusters).
+ */
+void
+applySubgraph(Ddg &ddg, Partition &part, ReplicaIndex &index,
+              const ReplicationSubgraph &sg,
+              const std::vector<bool> &communicated,
+              ReplicationStats *stats)
+{
+    // Phase 1: create all replica nodes (cycles in the subgraph make
+    // a create-then-wire split necessary).
+    for (const auto &[v, clusters] : sg.required) {
+        for (int c : clusters) {
+            const NodeId r =
+                ddg.addReplica(v, ".r" + std::to_string(c));
+            part.assign(r, c);
+            index.addInstance(ddg.node(v).semanticId, c, r);
+            countReplica(stats, ddg.node(v).cls);
+        }
+    }
+
+    // Phase 2: wire operands of every new replica.
+    for (const auto &[v, clusters] : sg.required) {
+        for (int c : clusters) {
+            const NodeId r =
+                index.instance(ddg.node(v).semanticId, c);
+            cv_assert(r != invalidNode, "replica vanished");
+            for (EdgeId eid : ddg.inEdges(v)) {
+                const DdgEdge e = ddg.edge(eid);
+                if (e.kind == EdgeKind::Memory) {
+                    // Keep memory ordering for the replica too.
+                    ddg.addEdge(e.src, r, EdgeKind::Memory, e.distance,
+                                e.memLatency);
+                    continue;
+                }
+                if (e.kind == EdgeKind::Spill) {
+                    // A replicated reload reads the same centralized
+                    // spill slot.
+                    ddg.addEdge(e.src, r, EdgeKind::Spill,
+                                e.distance);
+                    continue;
+                }
+                const NodeId p = e.src;
+                const NodeId local =
+                    index.instance(ddg.node(p).semanticId, c);
+                if (local != invalidNode) {
+                    ddg.addEdge(local, r, EdgeKind::RegFlow,
+                                e.distance);
+                } else if (communicated[p]) {
+                    // Delivered by the existing broadcast of p.
+                    ddg.addEdge(p, r, EdgeKind::RegFlow, e.distance);
+                } else {
+                    cv_panic("operand ", ddg.node(p).label,
+                             " unavailable in cluster ", c,
+                             " while replicating ",
+                             ddg.node(sg.com).label);
+                }
+            }
+            // Replicated loads/stores inherit outgoing memory
+            // ordering constraints as well.
+            for (EdgeId eid : ddg.outEdges(v)) {
+                const DdgEdge e = ddg.edge(eid);
+                if (e.kind == EdgeKind::Memory) {
+                    ddg.addEdge(r, e.dst, EdgeKind::Memory, e.distance,
+                                e.memLatency);
+                }
+            }
+        }
+    }
+
+    // Phase 3: rewire remote consumers of com to the local instances.
+    const int home = part.clusterOf(sg.com);
+    for (EdgeId eid : ddg.outEdges(sg.com)) {
+        const DdgEdge e = ddg.edge(eid);
+        if (e.kind != EdgeKind::RegFlow)
+            continue;
+        const int c = part.clusterOf(e.dst);
+        if (c == home)
+            continue;
+        if (!std::binary_search(sg.targetClusters.begin(),
+                                sg.targetClusters.end(), c)) {
+            continue; // section 5.1 variant: only chosen clusters
+        }
+        const NodeId local =
+            index.instance(ddg.node(sg.com).semanticId, c);
+        cv_assert(local != invalidNode,
+                  "no instance of com in target cluster ", c);
+        ddg.removeEdge(eid);
+        ddg.addEdge(local, e.dst, EdgeKind::RegFlow, e.distance);
+    }
+}
+
+} // namespace
+
+int
+removeDeadCode(Ddg &ddg, const Partition &part, ReplicaIndex &index)
+{
+    // Mark: walk register-flow edges backwards from the roots
+    // (stores and live-out values).
+    std::vector<bool> live(ddg.numNodeSlots(), false);
+    std::vector<NodeId> worklist;
+    for (NodeId n : ddg.nodes()) {
+        const DdgNode &node = ddg.node(n);
+        if (node.cls == OpClass::Store || node.liveOut) {
+            live[n] = true;
+            worklist.push_back(n);
+        }
+    }
+    while (!worklist.empty()) {
+        const NodeId v = worklist.back();
+        worklist.pop_back();
+        for (NodeId p : ddg.flowPreds(v)) {
+            if (!live[p]) {
+                live[p] = true;
+                worklist.push_back(p);
+            }
+        }
+    }
+
+    // Sweep.
+    int removed = 0;
+    for (NodeId n : ddg.nodes()) {
+        if (live[n])
+            continue;
+        index.removeInstance(ddg.node(n).semanticId,
+                             part.clusterOf(n));
+        ddg.removeNode(n);
+        ++removed;
+    }
+    return removed;
+}
+
+bool
+reduceCommunications(Ddg &ddg, Partition &part,
+                     const MachineConfig &mach, int ii,
+                     ReplicationStats *stats, ReplicationMode mode,
+                     const CoarseningHierarchy *hier)
+{
+    if (mach.isUnified())
+        return true;
+
+    ReplicaIndex index(ddg, part);
+    bool first_round = true;
+
+    while (true) {
+        const CommInfo comms = findCommunications(ddg, part.vec());
+        if (first_round) {
+            if (stats)
+                stats->comsInitial = comms.count();
+            first_round = false;
+        }
+        if (extraComs(comms.count(), mach, ii) == 0)
+            return true;
+        if (stats)
+            ++stats->roundsConsidered;
+
+        // Build and weight every candidate subgraph.
+        std::vector<ReplicationSubgraph> pool;
+        pool.reserve(comms.producers.size());
+        for (NodeId com : comms.producers) {
+            std::vector<NodeId> seeds;
+            if (mode == ReplicationMode::MacroNode && hier &&
+                hier->numLevels() > 1) {
+                // Section 5.2: force the whole level-1 macro-node of
+                // com into the subgraph.
+                for (NodeId m : hier->membersOf(com, 1)) {
+                    if (ddg.node(m).alive && m != com)
+                        seeds.push_back(m);
+                }
+            }
+            pool.push_back(findReplicationSubgraph(
+                ddg, part, com, comms.communicated, index, seeds));
+        }
+
+        int best = -1;
+        Rational best_weight;
+        int best_size = 0;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            if (!replicationFeasible(ddg, mach, part, ii, pool[i]))
+                continue;
+            const auto removable = findRemovableInstructions(
+                ddg, part, pool[i].com, comms.communicated);
+            const Rational w = subgraphWeight(
+                ddg, mach, part, ii, pool[i], pool, removable);
+            const int size = pool[i].totalNewInstances();
+            if (best < 0 || w < best_weight ||
+                (w == best_weight &&
+                 std::tie(size, pool[i].com) <
+                     std::tie(best_size, pool[best].com))) {
+                best = static_cast<int>(i);
+                best_weight = w;
+                best_size = size;
+            }
+        }
+        if (best < 0)
+            return false; // no feasible replication: caller raises II
+
+        applySubgraph(ddg, part, index, pool[best],
+                      comms.communicated, stats);
+        const int removed = removeDeadCode(ddg, part, index);
+        if (stats) {
+            ++stats->comsRemoved;
+            stats->instructionsRemoved += removed;
+        }
+    }
+}
+
+bool
+replicateIntoCluster(Ddg &ddg, Partition &part,
+                     const MachineConfig &mach, int ii,
+                     NodeId producer, int cluster,
+                     ReplicationStats *stats)
+{
+    if (part.clusterOf(producer) == cluster)
+        return false;
+
+    ReplicaIndex index(ddg, part);
+    const CommInfo comms = findCommunications(ddg, part.vec());
+    if (!comms.communicated[producer])
+        return false;
+
+    const ReplicationSubgraph sg = findReplicationSubgraph(
+        ddg, part, producer, comms.communicated, index, {}, {cluster});
+    if (!replicationFeasible(ddg, mach, part, ii, sg))
+        return false;
+
+    applySubgraph(ddg, part, index, sg, comms.communicated, stats);
+    const int removed = removeDeadCode(ddg, part, index);
+    if (stats)
+        stats->instructionsRemoved += removed;
+    return true;
+}
+
+} // namespace cvliw

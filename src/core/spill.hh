@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Spill code generation. When a cluster's MaxLive exceeds its
+ * register file and raising the II stops helping (the pressure floor
+ * is the single-iteration width, which the II cannot shrink), the
+ * only fix is to keep long-lived values in memory: store them right
+ * after definition and reload them next to their distant consumers.
+ * The paper's substrate compiler (Ictineo) spills the same way; the
+ * 32-register configurations of section 4 are unschedulable for the
+ * largest loop bodies without it.
+ *
+ * A spill inserts two real operations (a Store and a Load on the
+ * centralized cache, both costing memory-port slots and latency) and
+ * a value-carrying Spill edge between them, so the functional
+ * simulator can verify that spilled loops still compute the original
+ * values.
+ */
+
+#ifndef CVLIW_CORE_SPILL_HH
+#define CVLIW_CORE_SPILL_HH
+
+#include "partition/partition.hh"
+#include "sched/scheduler.hh"
+
+namespace cvliw
+{
+
+/**
+ * Spill the most profitable victim of the worst-pressure cluster of
+ * a register-failed schedule: the value with the longest register
+ * lifetime whose distant same-cluster consumers can be moved onto a
+ * reload.
+ *
+ * @param ddg graph the failed schedule was built for (modified)
+ * @param part cluster assignment (the new store/reload are added)
+ * @param failed the schedule that exceeded the register file
+ * @return true when a spill was inserted; false when no victim
+ *         remains (spilling cannot help this loop)
+ */
+bool spillOneValue(Ddg &ddg, Partition &part,
+                   const MachineConfig &mach, const Schedule &failed);
+
+} // namespace cvliw
+
+#endif // CVLIW_CORE_SPILL_HH

@@ -1,0 +1,158 @@
+#include "core/subgraph.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+ReplicaIndex::ReplicaIndex(const Ddg &ddg, const Partition &part)
+{
+    for (NodeId n : ddg.nodes()) {
+        addInstance(ddg.node(n).semanticId, part.clusterOf(n), n);
+    }
+}
+
+bool
+ReplicaIndex::hasInstance(NodeId semantic, int cluster) const
+{
+    return byKey_.count({semantic, cluster}) != 0;
+}
+
+NodeId
+ReplicaIndex::instance(NodeId semantic, int cluster) const
+{
+    auto it = byKey_.find({semantic, cluster});
+    return it == byKey_.end() ? invalidNode : it->second;
+}
+
+void
+ReplicaIndex::addInstance(NodeId semantic, int cluster, NodeId node)
+{
+    byKey_[{semantic, cluster}] = node;
+}
+
+void
+ReplicaIndex::removeInstance(NodeId semantic, int cluster)
+{
+    byKey_.erase({semantic, cluster});
+}
+
+int
+ReplicationSubgraph::totalNewInstances() const
+{
+    int total = 0;
+    for (const auto &[n, clusters] : required)
+        total += static_cast<int>(clusters.size());
+    return total;
+}
+
+bool
+ReplicationSubgraph::needsIn(NodeId n, int cluster) const
+{
+    auto it = required.find(n);
+    if (it == required.end())
+        return false;
+    return std::binary_search(it->second.begin(), it->second.end(),
+                              cluster);
+}
+
+ReplicationSubgraph
+findReplicationSubgraph(const Ddg &ddg, const Partition &part,
+                        NodeId com,
+                        const std::vector<bool> &communicated,
+                        const ReplicaIndex &index,
+                        const std::vector<NodeId> &extra_seeds,
+                        const std::vector<int> &target_override)
+{
+    ReplicationSubgraph sg;
+    sg.com = com;
+    const NodeId com_sem = ddg.node(com).semanticId;
+
+    // Target clusters: every remote cluster with a consumer of com.
+    if (!target_override.empty()) {
+        sg.targetClusters = target_override;
+    } else {
+        const int home = part.clusterOf(com);
+        for (NodeId w : ddg.flowSuccs(com)) {
+            const int c = part.clusterOf(w);
+            if (c != home)
+                sg.targetClusters.push_back(c);
+        }
+        std::sort(sg.targetClusters.begin(), sg.targetClusters.end());
+        sg.targetClusters.erase(std::unique(sg.targetClusters.begin(),
+                                            sg.targetClusters.end()),
+                                sg.targetClusters.end());
+    }
+    cv_assert(!sg.targetClusters.empty(),
+              "replication subgraph for a non-communication");
+
+    // Per target cluster: walk parents (Figure 4). A parent is
+    // skipped when its value is communicated (available via the bus
+    // broadcast) or when an instance already lives in the target.
+    for (int t : sg.targetClusters) {
+        std::vector<NodeId> worklist;
+        std::vector<bool> visited(ddg.numNodeSlots(), false);
+        std::vector<bool> required_here(ddg.numNodeSlots(), false);
+
+        auto seed = [&](NodeId s) {
+            if (visited[s])
+                return;
+            visited[s] = true;
+            if (!index.hasInstance(ddg.node(s).semanticId, t)) {
+                sg.required[s].push_back(t);
+                required_here[s] = true;
+            }
+            worklist.push_back(s);
+        };
+        seed(com);
+        for (NodeId s : extra_seeds) {
+            const DdgNode &sn = ddg.node(s);
+            if (sn.cls == OpClass::Store)
+                continue; // stores are never replicated
+            if (communicated[s] && sn.semanticId != com_sem)
+                continue; // has its own subgraph
+            seed(s);
+        }
+
+        while (!worklist.empty()) {
+            const NodeId v = worklist.back();
+            worklist.pop_back();
+            // Only nodes that actually need a new replica pull their
+            // parents in; existing instances already have operands.
+            if (!required_here[v])
+                continue;
+            for (NodeId p : ddg.flowPreds(v)) {
+                if (visited[p])
+                    continue;
+                if (communicated[p] &&
+                    ddg.node(p).semanticId != com_sem) {
+                    continue; // broadcast makes it available
+                }
+                visited[p] = true;
+                cv_assert(ddg.node(p).cls != OpClass::Store,
+                          "store as flow producer");
+                if (!index.hasInstance(ddg.node(p).semanticId, t)) {
+                    sg.required[p].push_back(t);
+                    required_here[p] = true;
+                }
+                worklist.push_back(p);
+            }
+        }
+    }
+
+    // Drop members that turned out to need no new instance anywhere.
+    for (auto it = sg.required.begin(); it != sg.required.end();) {
+        if (it->second.empty())
+            it = sg.required.erase(it);
+        else
+            ++it;
+    }
+
+    for (auto &[n, clusters] : sg.required)
+        std::sort(clusters.begin(), clusters.end());
+    return sg;
+}
+
+} // namespace cvliw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Replication subgraphs (section 3.1, Figure 4). The replication
+ * subgraph of a communicated value is the minimum set of instructions
+ * that must be duplicated in the consuming clusters so that the
+ * communication disappears. Walking up from the communicated
+ * producer, a parent joins the subgraph unless its own value is
+ * communicated (then it is already available everywhere via the bus
+ * broadcast) or an instance of it already exists in the target
+ * cluster (a replica created earlier, section 3.4 update rule 3).
+ */
+
+#ifndef CVLIW_CORE_SUBGRAPH_HH
+#define CVLIW_CORE_SUBGRAPH_HH
+
+#include <map>
+#include <vector>
+
+#include "ddg/ddg.hh"
+#include "partition/partition.hh"
+
+namespace cvliw
+{
+
+/**
+ * Tracks, for every semantic value, the clusters that hold an
+ * instance of it (the original or a replica) and the node realizing
+ * that instance.
+ */
+class ReplicaIndex
+{
+  public:
+    /** Seed with the originals of @p ddg under @p part. */
+    ReplicaIndex(const Ddg &ddg, const Partition &part);
+
+    /** Is an instance of @p semantic present in @p cluster? */
+    bool hasInstance(NodeId semantic, int cluster) const;
+
+    /** Node realizing @p semantic in @p cluster (invalidNode if none). */
+    NodeId instance(NodeId semantic, int cluster) const;
+
+    /** Record a new instance. */
+    void addInstance(NodeId semantic, int cluster, NodeId node);
+
+    /** Remove the instance of @p semantic in @p cluster. */
+    void removeInstance(NodeId semantic, int cluster);
+
+  private:
+    std::map<std::pair<NodeId, int>, NodeId> byKey_;
+};
+
+/**
+ * The replication subgraph S_com of one communication, together with
+ * the clusters every member must be duplicated into.
+ */
+struct ReplicationSubgraph
+{
+    /** The communicated producer. */
+    NodeId com = invalidNode;
+
+    /** Remote clusters holding consumers of com's value. */
+    std::vector<int> targetClusters;
+
+    /**
+     * Members of the subgraph: node -> sorted clusters where a new
+     * replica is required. Nodes whose instances already exist in
+     * all needed clusters do not appear (paper section 3.4: "A can
+     * be removed from S_D").
+     */
+    std::map<NodeId, std::vector<int>> required;
+
+    /** Total number of replica instances to create. */
+    int totalNewInstances() const;
+
+    /** True when @p n is a member with at least one required cluster. */
+    bool contains(NodeId n) const { return required.count(n) != 0; }
+
+    /** True when @p n must be replicated into @p cluster. */
+    bool needsIn(NodeId n, int cluster) const;
+};
+
+/**
+ * Compute the replication subgraph of @p com (Figure 4, extended
+ * with the per-cluster instance checks of section 3.4).
+ *
+ * @param ddg current loop graph (no copies inserted)
+ * @param part cluster assignment
+ * @param com communicated producer
+ * @param communicated per-NodeId flags from findCommunications()
+ * @param index existing instances
+ * @param extra_seeds additional nodes forced into the subgraph (used
+ *        by the section-5.2 macro-node variant); pass {} normally
+ * @param target_override when non-empty, replicate toward exactly
+ *        these clusters instead of all consumer clusters (used by the
+ *        section-5.1 schedule-length variant)
+ */
+ReplicationSubgraph
+findReplicationSubgraph(const Ddg &ddg, const Partition &part,
+                        NodeId com,
+                        const std::vector<bool> &communicated,
+                        const ReplicaIndex &index,
+                        const std::vector<NodeId> &extra_seeds = {},
+                        const std::vector<int> &target_override = {});
+
+} // namespace cvliw
+
+#endif // CVLIW_CORE_SUBGRAPH_HH

@@ -1,0 +1,109 @@
+#include "core/weights.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+constexpr auto numKinds =
+    static_cast<std::size_t>(ResourceKind::NumResourceKinds);
+
+/** extra_ops(res, c, S): subgraph ops of kind @p res added to @p c. */
+int
+extraOps(const Ddg &ddg, const MachineConfig &mach,
+         const ReplicationSubgraph &sg, ResourceKind res, int cluster)
+{
+    int count = 0;
+    for (const auto &[v, clusters] : sg.required) {
+        if (mach.resourceFor(ddg.node(v).cls) != res)
+            continue;
+        if (std::binary_search(clusters.begin(), clusters.end(),
+                               cluster)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace
+
+Rational
+subgraphWeight(const Ddg &ddg, const MachineConfig &mach,
+               const Partition &part, int ii,
+               const ReplicationSubgraph &sg,
+               const std::vector<ReplicationSubgraph> &all,
+               const std::vector<NodeId> &removable)
+{
+    const auto usage = part.usage(ddg, mach);
+    Rational weight(0);
+
+    for (const auto &[v, clusters] : sg.required) {
+        const ResourceKind res = mach.resourceFor(ddg.node(v).cls);
+        for (int c : clusters) {
+            const int avail = mach.available(res);
+            if (avail == 0) {
+                // No unit of this kind: infeasible, represented by a
+                // huge weight (feasibility is reported separately).
+                weight += Rational(1000000);
+                continue;
+            }
+            Rational term(
+                usage[static_cast<std::size_t>(res)][c] +
+                    extraOps(ddg, mach, sg, res, c),
+                static_cast<std::int64_t>(avail) * ii);
+
+            // Sharing: a copy of v in c serves every subgraph that
+            // needs it there (section 3.3, second formula).
+            int share = 0;
+            for (const ReplicationSubgraph &other : all) {
+                if (other.needsIn(v, c))
+                    ++share;
+            }
+            cv_assert(share >= 1, "subgraph not in its own pool");
+            weight += term / Rational(share);
+        }
+    }
+
+    // Credit for instructions that can eventually be removed from
+    // com's cluster: one slot of their resource per II each.
+    const int home = part.clusterOf(sg.com);
+    for (NodeId u : removable) {
+        const ResourceKind res = mach.resourceFor(ddg.node(u).cls);
+        const int avail = mach.available(res);
+        if (avail == 0)
+            continue;
+        weight -= Rational(1, static_cast<std::int64_t>(avail) * ii);
+        (void)home;
+    }
+
+    return weight;
+}
+
+bool
+replicationFeasible(const Ddg &ddg, const MachineConfig &mach,
+                    const Partition &part, int ii,
+                    const ReplicationSubgraph &sg)
+{
+    const auto usage = part.usage(ddg, mach);
+    for (std::size_t k = 0; k < numKinds; ++k) {
+        const auto kind = static_cast<ResourceKind>(k);
+        if (kind == ResourceKind::Bus)
+            continue;
+        for (int c = 0; c < mach.numClusters(); ++c) {
+            const int extra = extraOps(ddg, mach, sg, kind, c);
+            if (extra == 0)
+                continue;
+            const int avail = mach.available(kind);
+            if (avail == 0 || usage[k][c] + extra > avail * ii)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cvliw

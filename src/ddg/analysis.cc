@@ -1,0 +1,250 @@
+#include "ddg/analysis.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+std::vector<NodeId>
+topoOrder(const Ddg &ddg)
+{
+    const auto live = ddg.nodes();
+    std::vector<int> indeg(ddg.numNodeSlots(), 0);
+    for (EdgeId eid : ddg.edges()) {
+        const DdgEdge &e = ddg.edge(eid);
+        if (e.distance == 0)
+            ++indeg[e.dst];
+    }
+
+    std::vector<NodeId> ready;
+    for (NodeId n : live) {
+        if (indeg[n] == 0)
+            ready.push_back(n);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(live.size());
+    while (!ready.empty()) {
+        NodeId n = ready.back();
+        ready.pop_back();
+        order.push_back(n);
+        for (EdgeId eid : ddg.outEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance == 0 && --indeg[e.dst] == 0)
+                ready.push_back(e.dst);
+        }
+    }
+
+    if (order.size() != live.size())
+        cv_panic("distance-0 subgraph has a cycle (",
+                 order.size(), " of ", live.size(), " nodes ordered)");
+    return order;
+}
+
+NodeTimes
+computeTimes(const Ddg &ddg, const MachineConfig &mach)
+{
+    NodeTimes t;
+    const int slots = ddg.numNodeSlots();
+    t.asap.assign(slots, 0);
+    t.alap.assign(slots, 0);
+    t.height.assign(slots, 0);
+    t.depth.assign(slots, 0);
+
+    const auto order = topoOrder(ddg);
+
+    // Forward pass: ASAP and depth.
+    for (NodeId n : order) {
+        for (EdgeId eid : ddg.inEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance != 0)
+                continue;
+            const int lat = ddg.edgeLatency(eid, mach);
+            t.asap[n] = std::max(t.asap[n], t.asap[e.src] + lat);
+            t.depth[n] = std::max(t.depth[n], t.depth[e.src] + lat);
+        }
+    }
+
+    // Schedule length: all results produced.
+    for (NodeId n : order) {
+        const int lat = mach.latency(ddg.node(n).cls);
+        t.length = std::max(t.length, t.asap[n] + lat);
+    }
+
+    // Backward pass: ALAP and height.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId n = *it;
+        const int lat = mach.latency(ddg.node(n).cls);
+        t.alap[n] = t.length - lat;
+        for (EdgeId eid : ddg.outEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance != 0)
+                continue;
+            const int elat = ddg.edgeLatency(eid, mach);
+            t.alap[n] = std::min(t.alap[n], t.alap[e.dst] - elat);
+            t.height[n] = std::max(t.height[n], t.height[e.dst] + elat);
+        }
+    }
+
+    return t;
+}
+
+namespace
+{
+
+/** Iterative Tarjan SCC state. */
+struct TarjanState
+{
+    std::vector<int> index, lowlink, comp;
+    std::vector<bool> onStack;
+    std::vector<NodeId> stack;
+    int nextIndex = 0;
+    int nextComp = 0;
+};
+
+} // namespace
+
+std::vector<int>
+stronglyConnectedComponents(const Ddg &ddg)
+{
+    const int slots = ddg.numNodeSlots();
+    TarjanState st;
+    st.index.assign(slots, -1);
+    st.lowlink.assign(slots, -1);
+    st.comp.assign(slots, -1);
+    st.onStack.assign(slots, false);
+
+    // Iterative DFS to avoid deep recursion on long chains.
+    struct Frame { NodeId n; std::vector<NodeId> succs; std::size_t i; };
+
+    for (NodeId root : ddg.nodes()) {
+        if (st.index[root] != -1)
+            continue;
+        std::vector<Frame> dfs;
+        auto push = [&](NodeId n) {
+            st.index[n] = st.lowlink[n] = st.nextIndex++;
+            st.stack.push_back(n);
+            st.onStack[n] = true;
+            std::vector<NodeId> succs;
+            for (EdgeId eid : ddg.outEdges(n))
+                succs.push_back(ddg.edge(eid).dst);
+            dfs.push_back({n, std::move(succs), 0});
+        };
+        push(root);
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            if (f.i < f.succs.size()) {
+                NodeId s = f.succs[f.i++];
+                if (st.index[s] == -1) {
+                    push(s);
+                } else if (st.onStack[s]) {
+                    st.lowlink[f.n] =
+                        std::min(st.lowlink[f.n], st.index[s]);
+                }
+            } else {
+                if (st.lowlink[f.n] == st.index[f.n]) {
+                    // f.n is an SCC root; pop its component.
+                    while (true) {
+                        NodeId w = st.stack.back();
+                        st.stack.pop_back();
+                        st.onStack[w] = false;
+                        st.comp[w] = st.nextComp;
+                        if (w == f.n)
+                            break;
+                    }
+                    ++st.nextComp;
+                }
+                NodeId done = f.n;
+                dfs.pop_back();
+                if (!dfs.empty()) {
+                    st.lowlink[dfs.back().n] =
+                        std::min(st.lowlink[dfs.back().n],
+                                 st.lowlink[done]);
+                }
+            }
+        }
+    }
+    return st.comp;
+}
+
+bool
+hasPositiveCycle(const Ddg &ddg, const MachineConfig &mach, int ii)
+{
+    // Bellman-Ford longest-path relaxation with edge weight
+    // latency - II * distance; a relaxation in pass |V| proves a
+    // positive-weight cycle, i.e. a recurrence that does not fit II.
+    const auto live = ddg.nodes();
+    const auto live_edges = ddg.edges();
+    std::vector<long long> dist(ddg.numNodeSlots(), 0);
+
+    const std::size_t passes = live.size();
+    for (std::size_t pass = 0; pass <= passes; ++pass) {
+        bool relaxed = false;
+        for (EdgeId eid : live_edges) {
+            const DdgEdge &e = ddg.edge(eid);
+            const long long w = ddg.edgeLatency(eid, mach) -
+                                static_cast<long long>(ii) * e.distance;
+            if (dist[e.src] + w > dist[e.dst]) {
+                dist[e.dst] = dist[e.src] + w;
+                relaxed = true;
+            }
+        }
+        if (!relaxed)
+            return false;
+        if (pass == passes)
+            return true;
+    }
+    return false;
+}
+
+int
+recurrenceMii(const Ddg &ddg, const MachineConfig &mach)
+{
+    // Upper bound: the total latency of all edges bounds any single
+    // cycle's latency sum; a cycle has distance sum >= 1.
+    long long hi = 1;
+    for (EdgeId eid : ddg.edges())
+        hi += ddg.edgeLatency(eid, mach);
+
+    if (!hasPositiveCycle(ddg, mach, 1))
+        return 1;
+
+    // Smallest II in (1, hi] with no positive cycle; monotone in II.
+    long long lo = 1; // has positive cycle
+    while (lo + 1 < hi) {
+        long long mid = lo + (hi - lo) / 2;
+        if (hasPositiveCycle(ddg, mach, static_cast<int>(mid)))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return static_cast<int>(hi);
+}
+
+std::vector<bool>
+nodesOnRecurrences(const Ddg &ddg)
+{
+    const auto comp = stronglyConnectedComponents(ddg);
+    std::vector<int> comp_size(ddg.numNodeSlots(), 0);
+    for (NodeId n : ddg.nodes())
+        ++comp_size[comp[n]];
+
+    std::vector<bool> on(ddg.numNodeSlots(), false);
+    for (NodeId n : ddg.nodes()) {
+        if (comp_size[comp[n]] > 1) {
+            on[n] = true;
+            continue;
+        }
+        for (EdgeId eid : ddg.outEdges(n)) {
+            if (ddg.edge(eid).dst == n) { // self-loop recurrence
+                on[n] = true;
+                break;
+            }
+        }
+    }
+    return on;
+}
+
+} // namespace cvliw

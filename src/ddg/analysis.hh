@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static analyses over a DDG: topological order of the intra-iteration
+ * (distance-0) subgraph, ASAP/ALAP times, critical-path length,
+ * per-node height/depth (used by the SMS ordering and the partitioner
+ * edge weighting), Tarjan SCCs and positive-cycle detection (used by
+ * RecMII).
+ */
+
+#ifndef CVLIW_DDG_ANALYSIS_HH
+#define CVLIW_DDG_ANALYSIS_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace cvliw
+{
+
+/**
+ * Per-node timing of one loop iteration, considering only distance-0
+ * edges. Vectors are indexed by NodeId; entries for dead nodes are
+ * meaningless.
+ */
+struct NodeTimes
+{
+    std::vector<int> asap;   //!< earliest start
+    std::vector<int> alap;   //!< latest start preserving the length
+    std::vector<int> height; //!< longest latency path to any sink
+    std::vector<int> depth;  //!< longest latency path from any source
+    int length = 0;          //!< critical-path schedule length (cycles)
+
+    int mobility(NodeId n) const { return alap[n] - asap[n]; }
+};
+
+/**
+ * Topological order of the live nodes using only distance-0 edges.
+ * Panics if the distance-0 subgraph has a cycle (an illegal DDG).
+ */
+std::vector<NodeId> topoOrder(const Ddg &ddg);
+
+/** Compute ASAP/ALAP/height/depth and the critical-path length. */
+NodeTimes computeTimes(const Ddg &ddg, const MachineConfig &mach);
+
+/**
+ * Strongly connected components over all edges (including
+ * loop-carried ones).
+ * @return component index per NodeId (dead nodes get -1); components
+ *         are numbered in reverse topological order of the condensed
+ *         graph (Tarjan numbering)
+ */
+std::vector<int> stronglyConnectedComponents(const Ddg &ddg);
+
+/**
+ * True when the graph contains a cycle whose total latency exceeds
+ * II times its total distance, i.e. when II is below the recurrence
+ * bound.
+ */
+bool hasPositiveCycle(const Ddg &ddg, const MachineConfig &mach, int ii);
+
+/**
+ * Maximum over elementary cycles of ceil(sum latency / sum distance);
+ * 1 when the graph has no recurrences. This is the RecMII term of the
+ * minimum initiation interval.
+ */
+int recurrenceMii(const Ddg &ddg, const MachineConfig &mach);
+
+/**
+ * Longest total latency of any single recurrence through @p n, or 0
+ * when @p n is not on a recurrence. Used by the partitioner's edge
+ * weighting.
+ */
+std::vector<bool> nodesOnRecurrences(const Ddg &ddg);
+
+} // namespace cvliw
+
+#endif // CVLIW_DDG_ANALYSIS_HH

@@ -1,0 +1,227 @@
+#include "ddg/ddg.hh"
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+NodeId
+Ddg::addNode(OpClass cls, std::string label)
+{
+    DdgNode n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.cls = cls;
+    n.label = label.empty() ? "n" + std::to_string(n.id)
+                            : std::move(label);
+    n.semanticId = n.id;
+    nodes_.push_back(std::move(n));
+    ++liveNodes_;
+    return nodes_.back().id;
+}
+
+NodeId
+Ddg::addReplica(NodeId original, const std::string &label_suffix)
+{
+    checkNode(original);
+    const DdgNode &orig = node(original);
+    NodeId id = addNode(orig.cls, orig.label + label_suffix);
+    nodes_[id].semanticId = orig.semanticId;
+    nodes_[id].isReplica = true;
+    return id;
+}
+
+EdgeId
+Ddg::addEdge(NodeId src, NodeId dst, EdgeKind kind, int distance,
+             int mem_latency)
+{
+    checkNode(src);
+    checkNode(dst);
+    cv_assert(distance >= 0, "edge distance must be >= 0");
+    if (kind == EdgeKind::RegFlow) {
+        cv_assert(producesValue(node(src).cls),
+                  "flow edge from non-value-producing op ",
+                  node(src).label);
+    }
+
+    DdgEdge e;
+    e.id = static_cast<EdgeId>(edges_.size());
+    e.src = src;
+    e.dst = dst;
+    e.kind = kind;
+    e.distance = distance;
+    e.memLatency = mem_latency;
+    edges_.push_back(e);
+    nodes_[src].out.push_back(e.id);
+    nodes_[dst].in.push_back(e.id);
+    ++liveEdges_;
+    return e.id;
+}
+
+void
+Ddg::removeNode(NodeId id)
+{
+    checkNode(id);
+    for (EdgeId eid : nodes_[id].in) {
+        if (edges_[eid].alive) {
+            edges_[eid].alive = false;
+            --liveEdges_;
+        }
+    }
+    for (EdgeId eid : nodes_[id].out) {
+        if (edges_[eid].alive) {
+            edges_[eid].alive = false;
+            --liveEdges_;
+        }
+    }
+    nodes_[id].alive = false;
+    --liveNodes_;
+}
+
+void
+Ddg::removeEdge(EdgeId id)
+{
+    checkEdge(id);
+    edges_[id].alive = false;
+    --liveEdges_;
+}
+
+std::vector<NodeId>
+Ddg::nodes() const
+{
+    std::vector<NodeId> out;
+    out.reserve(liveNodes_);
+    for (const auto &n : nodes_) {
+        if (n.alive)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+std::vector<EdgeId>
+Ddg::edges() const
+{
+    std::vector<EdgeId> out;
+    out.reserve(liveEdges_);
+    for (const auto &e : edges_) {
+        if (e.alive)
+            out.push_back(e.id);
+    }
+    return out;
+}
+
+const DdgNode &
+Ddg::node(NodeId id) const
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    return nodes_[id];
+}
+
+DdgNode &
+Ddg::node(NodeId id)
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    return nodes_[id];
+}
+
+const DdgEdge &
+Ddg::edge(EdgeId id) const
+{
+    cv_assert(id >= 0 && id < numEdgeSlots(), "bad edge id ", id);
+    return edges_[id];
+}
+
+DdgEdge &
+Ddg::edge(EdgeId id)
+{
+    cv_assert(id >= 0 && id < numEdgeSlots(), "bad edge id ", id);
+    return edges_[id];
+}
+
+std::vector<EdgeId>
+Ddg::inEdges(NodeId id) const
+{
+    checkNode(id);
+    std::vector<EdgeId> out;
+    for (EdgeId eid : nodes_[id].in) {
+        if (edges_[eid].alive)
+            out.push_back(eid);
+    }
+    return out;
+}
+
+std::vector<EdgeId>
+Ddg::outEdges(NodeId id) const
+{
+    checkNode(id);
+    std::vector<EdgeId> out;
+    for (EdgeId eid : nodes_[id].out) {
+        if (edges_[eid].alive)
+            out.push_back(eid);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Ddg::flowPreds(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (EdgeId eid : inEdges(id)) {
+        if (edges_[eid].kind == EdgeKind::RegFlow)
+            out.push_back(edges_[eid].src);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+Ddg::flowSuccs(NodeId id) const
+{
+    std::vector<NodeId> out;
+    for (EdgeId eid : outEdges(id)) {
+        if (edges_[eid].kind == EdgeKind::RegFlow)
+            out.push_back(edges_[eid].dst);
+    }
+    return out;
+}
+
+int
+Ddg::edgeLatency(EdgeId eid, const MachineConfig &mach) const
+{
+    checkEdge(eid);
+    const DdgEdge &e = edges_[eid];
+    if (e.kind == EdgeKind::Memory)
+        return e.memLatency;
+    if (e.kind == EdgeKind::Spill) {
+        // The reload can issue once the spill store has completed.
+        return mach.latency(OpClass::Store);
+    }
+    const DdgNode &src = nodes_[e.src];
+    if (src.cls == OpClass::Copy)
+        return mach.busLatency();
+    return mach.latency(src.cls);
+}
+
+bool
+Ddg::hasCopies() const
+{
+    for (const auto &n : nodes_) {
+        if (n.alive && n.cls == OpClass::Copy)
+            return true;
+    }
+    return false;
+}
+
+void
+Ddg::checkNode(NodeId id) const
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    cv_assert(nodes_[id].alive, "dead node ", nodes_[id].label);
+}
+
+void
+Ddg::checkEdge(EdgeId id) const
+{
+    cv_assert(id >= 0 && id < numEdgeSlots(), "bad edge id ", id);
+    cv_assert(edges_[id].alive, "dead edge ", id);
+}
+
+} // namespace cvliw

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Data dependence graph (DDG) of a software-pipelineable loop body.
+ *
+ * Nodes are operations; edges are either register-flow dependences
+ * (the consumer reads the value the producer defines) or memory
+ * ordering dependences through the centralized cache. Every edge
+ * carries an iteration distance: distance 0 is intra-iteration,
+ * distance d > 0 means the consumer uses the value produced d
+ * iterations earlier (a recurrence when it closes a cycle).
+ *
+ * The graph is mutable because both the scheduler (copy insertion)
+ * and the replication algorithm (replicas, dead-code removal) edit it;
+ * removal uses tombstones so node ids stay stable.
+ */
+
+#ifndef CVLIW_DDG_DDG_HH
+#define CVLIW_DDG_DDG_HH
+
+#include <string>
+#include <vector>
+
+#include "machine/config.hh"
+#include "machine/op_class.hh"
+
+namespace cvliw
+{
+
+using NodeId = int;
+using EdgeId = int;
+
+constexpr NodeId invalidNode = -1;
+constexpr EdgeId invalidEdge = -1;
+
+/** Dependence kind. */
+enum class EdgeKind : std::uint8_t
+{
+    RegFlow, //!< register value flows producer -> consumer
+    Memory,  //!< ordering through the centralized memory
+    /**
+     * Spill slot: the value flows store -> reload through memory.
+     * Carries the value (the simulator follows it) but occupies no
+     * register, which is the whole point of spilling.
+     */
+    Spill
+};
+
+/** One dependence edge. */
+struct DdgEdge
+{
+    EdgeId id = invalidEdge;
+    NodeId src = invalidNode;
+    NodeId dst = invalidNode;
+    EdgeKind kind = EdgeKind::RegFlow;
+    int distance = 0;    //!< iteration distance (>= 0)
+    int memLatency = 1;  //!< latency for Memory edges only
+    bool alive = true;
+};
+
+/** One operation. */
+struct DdgNode
+{
+    NodeId id = invalidNode;
+    OpClass cls = OpClass::IntAlu;
+    std::string label;
+    /**
+     * Identity of the computation this node performs. Replicas share
+     * the semanticId of the instruction they duplicate, so the
+     * functional simulator can check that a replica computes exactly
+     * the original value.
+     */
+    NodeId semanticId = invalidNode;
+    bool isReplica = false;
+    /** True for spill stores and spill reloads (identity value). */
+    bool isSpill = false;
+    /**
+     * True when the value is consumed after the loop (e.g. a
+     * reduction result). Live-out instructions are never deleted by
+     * the post-replication dead-code removal.
+     */
+    bool liveOut = false;
+    bool alive = true;
+    std::vector<EdgeId> out; //!< outgoing edge ids
+    std::vector<EdgeId> in;  //!< incoming edge ids
+};
+
+/**
+ * A mutable data dependence graph. Node/edge ids are dense indices
+ * into internal arrays; removed entities remain as tombstones.
+ */
+class Ddg
+{
+  public:
+    /** Create an operation of class @p cls. */
+    NodeId addNode(OpClass cls, std::string label = "");
+
+    /**
+     * Create a replica of @p original (same op class and semantic
+     * identity). The caller wires up the replica's operand edges.
+     */
+    NodeId addReplica(NodeId original, const std::string &label_suffix);
+
+    /**
+     * Add a dependence edge.
+     * @param src producer
+     * @param dst consumer
+     * @param kind register flow or memory ordering
+     * @param distance iteration distance (>= 0)
+     * @param mem_latency latency used for Memory edges
+     */
+    EdgeId addEdge(NodeId src, NodeId dst, EdgeKind kind,
+                   int distance = 0, int mem_latency = 1);
+
+    /** Remove a node and all incident edges (tombstoned). */
+    void removeNode(NodeId id);
+
+    /** Remove a single edge (tombstoned). */
+    void removeEdge(EdgeId id);
+
+    /** Total node slots, including tombstones. Valid ids are < this. */
+    int numNodeSlots() const { return static_cast<int>(nodes_.size()); }
+
+    /** Total edge slots, including tombstones. */
+    int numEdgeSlots() const { return static_cast<int>(edges_.size()); }
+
+    /** Number of live nodes. */
+    int numNodes() const { return liveNodes_; }
+
+    /** Number of live edges. */
+    int numEdges() const { return liveEdges_; }
+
+    /** Materialized list of live node ids, in id order. */
+    std::vector<NodeId> nodes() const;
+
+    /** Materialized list of live edge ids, in id order. */
+    std::vector<EdgeId> edges() const;
+
+    const DdgNode &node(NodeId id) const;
+    DdgNode &node(NodeId id);
+    const DdgEdge &edge(EdgeId id) const;
+    DdgEdge &edge(EdgeId id);
+
+    /** Live incoming edges of @p id. */
+    std::vector<EdgeId> inEdges(NodeId id) const;
+
+    /** Live outgoing edges of @p id. */
+    std::vector<EdgeId> outEdges(NodeId id) const;
+
+    /** Live register-flow producers of @p id (dedup not applied). */
+    std::vector<NodeId> flowPreds(NodeId id) const;
+
+    /** Live register-flow consumers of @p id. */
+    std::vector<NodeId> flowSuccs(NodeId id) const;
+
+    /**
+     * Latency contributed by @p edge: the producer's latency for
+     * register flow (the bus latency when the producer is a Copy),
+     * the stored memLatency for memory edges.
+     */
+    int edgeLatency(EdgeId edge, const MachineConfig &mach) const;
+
+    /** True when any live node is a Copy op. */
+    bool hasCopies() const;
+
+  private:
+    void checkNode(NodeId id) const;
+    void checkEdge(EdgeId id) const;
+
+    std::vector<DdgNode> nodes_;
+    std::vector<DdgEdge> edges_;
+    int liveNodes_ = 0;
+    int liveEdges_ = 0;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_DDG_DDG_HH

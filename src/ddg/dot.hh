@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz export of DDGs, optionally colored by cluster assignment.
+ */
+
+#ifndef CVLIW_DDG_DOT_HH
+#define CVLIW_DDG_DOT_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace cvliw
+{
+
+/**
+ * Write @p ddg in Graphviz dot format.
+ * @param os destination
+ * @param ddg graph to export
+ * @param cluster_of optional per-NodeId cluster index used to color
+ *        nodes (pass an empty vector for uncolored output)
+ */
+void writeDot(std::ostream &os, const Ddg &ddg,
+              const std::vector<int> &cluster_of = {});
+
+} // namespace cvliw
+
+#endif // CVLIW_DDG_DOT_HH

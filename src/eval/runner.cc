@@ -1,0 +1,102 @@
+#include "eval/runner.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+SuiteResult
+runSuite(const std::vector<Loop> &suite, const MachineConfig &mach,
+         const PipelineOptions &opts, int threads)
+{
+    SuiteResult result;
+    result.loops.resize(suite.size());
+
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw ? static_cast<int>(hw) : 1;
+    }
+    threads = std::min<int>(threads, static_cast<int>(suite.size()));
+    threads = std::max(threads, 1);
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= suite.size())
+                return;
+            result.loops[i] = compile(suite[i].ddg, mach, opts);
+            if (!result.loops[i].ok) {
+                cv_warn("loop ", suite[i].name(),
+                        " failed to compile on ", mach.name());
+            }
+        }
+    };
+
+    if (threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+    return result;
+}
+
+std::map<std::string, BenchmarkAggregate>
+aggregateByBenchmark(const std::vector<Loop> &suite,
+                     const SuiteResult &results)
+{
+    cv_assert(suite.size() == results.loops.size(),
+              "suite/results size mismatch");
+    std::map<std::string, BenchmarkAggregate> by_bench;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        if (!results.loops[i].ok)
+            continue;
+        auto &agg = by_bench[suite[i].benchmark];
+        agg.name = suite[i].benchmark;
+        accumulate(agg, results.loops[i], suite[i].profile);
+    }
+    return by_bench;
+}
+
+std::vector<std::pair<std::string, double>>
+benchmarkIpcs(const std::vector<Loop> &suite, const SuiteResult &results)
+{
+    const auto by_bench = aggregateByBenchmark(suite, results);
+
+    // Preserve the paper's benchmark order.
+    std::vector<std::pair<std::string, double>> out;
+    std::vector<std::string> seen;
+    for (const Loop &loop : suite) {
+        bool found = false;
+        for (const auto &s : seen)
+            found |= (s == loop.benchmark);
+        if (found)
+            continue;
+        seen.push_back(loop.benchmark);
+        auto it = by_bench.find(loop.benchmark);
+        if (it != by_bench.end())
+            out.emplace_back(loop.benchmark, it->second.ipc());
+    }
+    return out;
+}
+
+double
+suiteHmeanIpc(const std::vector<Loop> &suite, const SuiteResult &results)
+{
+    std::vector<double> ipcs;
+    for (const auto &[name, ipc] : benchmarkIpcs(suite, results)) {
+        (void)name;
+        ipcs.push_back(ipc);
+    }
+    return hmean(ipcs);
+}
+
+} // namespace cvliw

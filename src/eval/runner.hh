@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Suite runner: compiles every loop of a suite for a machine
+ * configuration (optionally in parallel) and aggregates results per
+ * benchmark. All benchmark binaries are built on top of this.
+ */
+
+#ifndef CVLIW_EVAL_RUNNER_HH
+#define CVLIW_EVAL_RUNNER_HH
+
+#include <map>
+
+#include "eval/metrics.hh"
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+
+/** Per-loop compile results, parallel to the input suite. */
+struct SuiteResult
+{
+    std::vector<CompileResult> loops;
+};
+
+/**
+ * Compile every loop of @p suite for @p mach with @p opts.
+ * @param threads worker threads (0 = hardware concurrency)
+ */
+SuiteResult runSuite(const std::vector<Loop> &suite,
+                     const MachineConfig &mach,
+                     const PipelineOptions &opts = {}, int threads = 0);
+
+/** Aggregate @p results per benchmark (keyed by benchmark name). */
+std::map<std::string, BenchmarkAggregate>
+aggregateByBenchmark(const std::vector<Loop> &suite,
+                     const SuiteResult &results);
+
+/** Benchmark IPCs in suite order (tomcatv first), plus the HMEAN. */
+std::vector<std::pair<std::string, double>>
+benchmarkIpcs(const std::vector<Loop> &suite, const SuiteResult &results);
+
+/** Harmonic mean over the per-benchmark IPCs. */
+double suiteHmeanIpc(const std::vector<Loop> &suite,
+                     const SuiteResult &results);
+
+} // namespace cvliw
+
+#endif // CVLIW_EVAL_RUNNER_HH

@@ -1,0 +1,102 @@
+#include "machine/op_class.hh"
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+const char *
+toString(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return "int.alu";
+      case OpClass::IntMul: return "int.mul";
+      case OpClass::IntDiv: return "int.div";
+      case OpClass::FpAlu:  return "fp.alu";
+      case OpClass::FpMul:  return "fp.mul";
+      case OpClass::FpDiv:  return "fp.div";
+      case OpClass::Load:   return "load";
+      case OpClass::Store:  return "store";
+      case OpClass::Copy:   return "copy";
+      default: cv_panic("bad OpClass ", static_cast<int>(cls));
+    }
+}
+
+const char *
+toString(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::IntFu:   return "int-fu";
+      case ResourceKind::FpFu:    return "fp-fu";
+      case ResourceKind::MemPort: return "mem-port";
+      case ResourceKind::AnyFu:   return "any-fu";
+      case ResourceKind::Bus:     return "bus";
+      default: cv_panic("bad ResourceKind ", static_cast<int>(kind));
+    }
+}
+
+int
+defaultLatency(OpClass cls)
+{
+    // Table 1: latencies (INT, FP): MEM 2/2, ARITH 1/3, MUL/ABS 2/6,
+    // DIV/SQRT 6/18. Stores complete at the (centralized) cache; a
+    // dependent load observes the value one cycle later.
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMul: return 2;
+      case OpClass::IntDiv: return 6;
+      case OpClass::FpAlu:  return 3;
+      case OpClass::FpMul:  return 6;
+      case OpClass::FpDiv:  return 18;
+      case OpClass::Load:   return 2;
+      case OpClass::Store:  return 1;
+      case OpClass::Copy:   return 1;
+      default: cv_panic("bad OpClass ", static_cast<int>(cls));
+    }
+}
+
+bool
+producesValue(OpClass cls)
+{
+    return cls != OpClass::Store;
+}
+
+bool
+isMemoryOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
+
+OpCategory
+categoryOf(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Load:
+      case OpClass::Store:
+        return OpCategory::Mem;
+      case OpClass::IntAlu:
+      case OpClass::IntMul:
+      case OpClass::IntDiv:
+        return OpCategory::Int;
+      case OpClass::FpAlu:
+      case OpClass::FpMul:
+      case OpClass::FpDiv:
+        return OpCategory::Fp;
+      default:
+        return OpCategory::Other;
+    }
+}
+
+const char *
+toString(OpCategory cat)
+{
+    switch (cat) {
+      case OpCategory::Mem:   return "mem";
+      case OpCategory::Int:   return "int";
+      case OpCategory::Fp:    return "fp";
+      case OpCategory::Other: return "other";
+      default: cv_panic("bad OpCategory ", static_cast<int>(cat));
+    }
+}
+
+} // namespace cvliw

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multilevel coarsening (section 2.3.1, step 1): repeatedly contract
+ * maximum-weight matchings until as many macro-nodes remain as there
+ * are clusters. The intermediate levels are kept: the refinement and
+ * the section-5.2 macro-node replication alternative both use them.
+ */
+
+#ifndef CVLIW_PARTITION_COARSEN_HH
+#define CVLIW_PARTITION_COARSEN_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace cvliw
+{
+
+/**
+ * The result of multilevel coarsening. Level 0 is the original graph;
+ * each subsequent level groups the previous one. `groupOf[l]` maps an
+ * original NodeId to its macro-node index at level l (level 0 is the
+ * identity on live nodes).
+ */
+class CoarseningHierarchy
+{
+  public:
+    /** Number of levels, including level 0. */
+    int numLevels() const { return static_cast<int>(groupOf_.size()); }
+
+    /** Number of macro-nodes at @p level. */
+    int numGroups(int level) const;
+
+    /** Macro-node of original node @p n at @p level (-1 for dead). */
+    int groupOf(NodeId n, int level) const;
+
+    /** Original nodes of the same @p level macro-node as @p n. */
+    std::vector<NodeId> membersOf(NodeId n, int level) const;
+
+    /** All original node ids in macro-node @p group at @p level. */
+    std::vector<NodeId> groupMembers(int group, int level) const;
+
+    /** @internal append a level mapping (original node -> group). */
+    void addLevel(std::vector<int> group_of, int num_groups);
+
+  private:
+    std::vector<std::vector<int>> groupOf_;
+    std::vector<int> numGroups_;
+};
+
+/**
+ * Coarsen @p ddg towards @p mach.numClusters() macro-nodes. Stops
+ * early when no capacity-feasible contraction remains (the final
+ * level may then hold more macro-nodes than clusters; the projection
+ * step bin-packs them).
+ * @param ddg loop body (no copies)
+ * @param mach target machine
+ * @param ii current initiation interval (capacity = available * II)
+ * @param edge_weights weight per EdgeId from computeEdgeWeights()
+ */
+CoarseningHierarchy coarsen(const Ddg &ddg, const MachineConfig &mach,
+                            int ii,
+                            const std::vector<long long> &edge_weights);
+
+} // namespace cvliw
+
+#endif // CVLIW_PARTITION_COARSEN_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Greedy maximum-weight matching on a weighted contraction graph,
+ * used by the coarsening phase (section 2.3.1, step 1: "a maximum
+ * weight matching is identified").
+ */
+
+#ifndef CVLIW_PARTITION_MATCHING_HH
+#define CVLIW_PARTITION_MATCHING_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace cvliw
+{
+
+/** One candidate contraction edge between two coarse vertices. */
+struct MatchEdge
+{
+    int a = 0;
+    int b = 0;
+    long long weight = 0;
+};
+
+/**
+ * Greedy maximum-weight matching: edges are visited by decreasing
+ * weight (ties broken by endpoint ids for determinism) and matched
+ * when both endpoints are free and @p feasible allows the pair.
+ *
+ * @param num_vertices number of coarse vertices
+ * @param edges candidate edges (parallel edges allowed; weights of
+ *        duplicates should be pre-accumulated by the caller)
+ * @param feasible predicate deciding whether contracting (a, b) is
+ *        allowed (e.g. resource-capacity check)
+ * @return matched pairs
+ */
+std::vector<std::pair<int, int>>
+greedyMatching(int num_vertices, std::vector<MatchEdge> edges,
+               const std::function<bool(int, int)> &feasible);
+
+} // namespace cvliw
+
+#endif // CVLIW_PARTITION_MATCHING_HH

@@ -1,0 +1,51 @@
+#include "partition/refine.hh"
+
+#include "sched/pseudo.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+Partition
+refinePartition(const Ddg &ddg, const MachineConfig &mach,
+                const Partition &initial, int ii, int max_passes)
+{
+    if (mach.numClusters() == 1)
+        return initial;
+
+    Partition part = initial;
+    std::vector<int> assign = part.vec();
+    PseudoResult best = pseudoSchedule(ddg, mach, assign, ii);
+
+    const auto live = ddg.nodes();
+    for (int pass = 0; pass < max_passes; ++pass) {
+        bool improved = false;
+        for (NodeId n : live) {
+            if (ddg.node(n).cls == OpClass::Copy)
+                continue;
+            const int home = assign[n];
+            int best_cluster = home;
+            for (int c = 0; c < mach.numClusters(); ++c) {
+                if (c == home || c == best_cluster)
+                    continue;
+                assign[n] = c;
+                PseudoResult r = pseudoSchedule(ddg, mach, assign, ii);
+                if (r.better(best)) {
+                    best = r;
+                    best_cluster = c;
+                }
+            }
+            assign[n] = best_cluster;
+            if (best_cluster != home)
+                improved = true;
+        }
+        if (!improved)
+            break;
+    }
+
+    for (NodeId n : live)
+        part.assign(n, assign[n]);
+    return part;
+}
+
+} // namespace cvliw

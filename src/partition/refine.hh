@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Partition refinement (section 2.3.1, step 2): generate candidate
+ * partitions by moving nodes between clusters and keep the best one
+ * according to the pseudo-schedule metric. Also invoked every time
+ * the II is increased (Figure 2: "Refine Partition"), because a
+ * larger II frees slots in every cluster.
+ */
+
+#ifndef CVLIW_PARTITION_REFINE_HH
+#define CVLIW_PARTITION_REFINE_HH
+
+#include "partition/partition.hh"
+
+namespace cvliw
+{
+
+/**
+ * Hill-climb on single-node moves until a full pass makes no
+ * improvement (bounded by @p max_passes).
+ *
+ * @param ddg loop body (no copies)
+ * @param mach target machine
+ * @param initial starting assignment
+ * @param ii probed initiation interval
+ * @param max_passes pass bound
+ * @return the refined partition (never worse than @p initial)
+ */
+Partition refinePartition(const Ddg &ddg, const MachineConfig &mach,
+                          const Partition &initial, int ii,
+                          int max_passes = 4);
+
+} // namespace cvliw
+
+#endif // CVLIW_PARTITION_REFINE_HH

@@ -1,0 +1,72 @@
+#include "sched/comms.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+CommInfo
+findCommunications(const Ddg &ddg, const std::vector<int> &cluster_of)
+{
+    CommInfo info;
+    info.communicated.assign(ddg.numNodeSlots(), false);
+
+    for (NodeId n : ddg.nodes()) {
+        const DdgNode &node = ddg.node(n);
+        if (node.cls == OpClass::Copy || !producesValue(node.cls))
+            continue;
+        cv_assert(n < static_cast<NodeId>(cluster_of.size()) &&
+                  cluster_of[n] >= 0,
+                  "node ", node.label, " has no cluster");
+
+        std::vector<int> remote;
+        for (NodeId succ : ddg.flowSuccs(n)) {
+            // A consumer that is a copy of this very value does not
+            // count; copies are inserted after this analysis runs.
+            if (ddg.node(succ).cls == OpClass::Copy)
+                continue;
+            const int c = cluster_of[succ];
+            if (c != cluster_of[n])
+                remote.push_back(c);
+        }
+        if (remote.empty())
+            continue;
+        std::sort(remote.begin(), remote.end());
+        remote.erase(std::unique(remote.begin(), remote.end()),
+                     remote.end());
+
+        info.communicated[n] = true;
+        info.producers.push_back(n);
+        info.targetClusters.push_back(std::move(remote));
+    }
+    return info;
+}
+
+int
+busCapacity(const MachineConfig &mach, int ii)
+{
+    if (mach.isUnified())
+        return 0;
+    return (ii / mach.busLatency()) * mach.numBuses();
+}
+
+int
+extraComs(int nof_coms, const MachineConfig &mach, int ii)
+{
+    return std::max(0, nof_coms - busCapacity(mach, ii));
+}
+
+int
+minBusIi(int nof_coms, const MachineConfig &mach)
+{
+    if (nof_coms == 0 || mach.isUnified())
+        return 1;
+    cv_assert(mach.numBuses() > 0, "clustered machine without buses");
+    const int per_bus =
+        (nof_coms + mach.numBuses() - 1) / mach.numBuses();
+    return per_bus * mach.busLatency();
+}
+
+} // namespace cvliw

@@ -1,0 +1,188 @@
+#include "sched/pseudo.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ddg/analysis.hh"
+#include "sched/comms.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+bool
+PseudoResult::better(const PseudoResult &o) const
+{
+    const int my_deficit = overflow + regOverflow;
+    const int other_deficit = o.overflow + o.regOverflow;
+    return std::tie(iiPart, my_deficit, comms, length, imbalance) <
+           std::tie(o.iiPart, other_deficit, o.comms, o.length,
+                    o.imbalance);
+}
+
+std::vector<int>
+estimateRegisterWidth(const Ddg &ddg, const MachineConfig &mach,
+                      const std::vector<int> &cluster_of)
+{
+    const auto order = topoOrder(ddg);
+
+    // ASAP times over distance-0 edges (cut edges pay the bus).
+    std::vector<int> asap(ddg.numNodeSlots(), 0);
+    for (NodeId n : order) {
+        for (EdgeId eid : ddg.inEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance != 0)
+                continue;
+            int lat = ddg.edgeLatency(eid, mach);
+            if (e.kind == EdgeKind::RegFlow &&
+                cluster_of[e.src] != cluster_of[e.dst]) {
+                lat += mach.busLatency();
+            }
+            asap[n] = std::max(asap[n], asap[e.src] + lat);
+        }
+    }
+
+    // Sweep: one interval per *instance* of each value. The home
+    // cluster holds it from definition to its last local read (the
+    // broadcast copy reads locally around the definition); every
+    // remote consumer cluster holds a bus-delivered instance from
+    // arrival to its last read there. Loop-carried consumers pin one
+    // permanently live instance per iteration of distance.
+    const int clusters = mach.numClusters();
+    std::vector<std::vector<std::pair<int, int>>> events(clusters);
+    std::vector<int> carried(clusters, 0);
+    for (NodeId v : ddg.nodes()) {
+        const DdgNode &node = ddg.node(v);
+        if (!producesValue(node.cls) || node.cls == OpClass::Copy)
+            continue;
+        const int home = cluster_of[v];
+        const int def = asap[v] + mach.latency(node.cls);
+
+        std::vector<int> last(clusters, -1);
+        std::vector<int> max_dist(clusters, 0);
+        for (EdgeId eid : ddg.outEdges(v)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.kind != EdgeKind::RegFlow)
+                continue;
+            const int c = cluster_of[e.dst];
+            if (e.distance == 0)
+                last[c] = std::max(last[c], asap[e.dst]);
+            else
+                max_dist[c] = std::max(max_dist[c], e.distance);
+        }
+        for (int c = 0; c < clusters; ++c) {
+            if (last[c] < 0 && max_dist[c] == 0)
+                continue;
+            const int begin =
+                c == home ? def : def + mach.busLatency();
+            if (last[c] > begin) {
+                events[c].push_back({begin, +1});
+                events[c].push_back({last[c], -1});
+            }
+            carried[c] += max_dist[c];
+        }
+    }
+
+    std::vector<int> width(clusters, 0);
+    for (int c = 0; c < clusters; ++c) {
+        std::sort(events[c].begin(), events[c].end());
+        int live = 0, peak = 0;
+        for (const auto &[t, delta] : events[c]) {
+            (void)t;
+            live += delta;
+            peak = std::max(peak, live);
+        }
+        width[c] = peak + carried[c];
+    }
+    return width;
+}
+
+PseudoResult
+pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
+               const std::vector<int> &cluster_of, int ii)
+{
+    PseudoResult r;
+
+    // --- Resource pressure per (kind, cluster). -----------------------
+    constexpr auto num_kinds =
+        static_cast<std::size_t>(ResourceKind::NumResourceKinds);
+    const int clusters = mach.numClusters();
+    std::vector<std::vector<int>> usage(
+        num_kinds, std::vector<int>(clusters, 0));
+    std::vector<int> ops_in_cluster(clusters, 0);
+
+    for (NodeId n : ddg.nodes()) {
+        const OpClass cls = ddg.node(n).cls;
+        if (cls == OpClass::Copy)
+            continue;
+        const int c = cluster_of[n];
+        cv_assert(c >= 0 && c < clusters, "bad cluster for node ", n);
+        ++usage[static_cast<std::size_t>(mach.resourceFor(cls))][c];
+        ++ops_in_cluster[c];
+    }
+
+    int ii_res = 1;
+    for (std::size_t k = 0; k < num_kinds; ++k) {
+        const auto kind = static_cast<ResourceKind>(k);
+        if (kind == ResourceKind::Bus)
+            continue;
+        const int avail = mach.available(kind);
+        for (int c = 0; c < clusters; ++c) {
+            if (!usage[k][c])
+                continue;
+            if (avail == 0) {
+                // Unschedulable partition: huge penalty.
+                r.overflow += 1000 * usage[k][c];
+                continue;
+            }
+            ii_res = std::max(ii_res,
+                              (usage[k][c] + avail - 1) / avail);
+            r.overflow += std::max(0, usage[k][c] - avail * ii);
+        }
+    }
+
+    // --- Bus pressure. -------------------------------------------------
+    const CommInfo comms = findCommunications(ddg, cluster_of);
+    r.comms = comms.count();
+    const int ii_bus = minBusIi(r.comms, mach);
+    r.overflow += extraComs(r.comms, mach, ii);
+
+    r.iiPart = std::max(ii_res, ii_bus);
+
+    // --- Estimated length: ASAP where cut flow edges pay the bus. -----
+    const auto order = topoOrder(ddg);
+    std::vector<int> est(ddg.numNodeSlots(), 0);
+    for (NodeId n : order) {
+        for (EdgeId eid : ddg.inEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance != 0)
+                continue;
+            int lat = ddg.edgeLatency(eid, mach);
+            if (e.kind == EdgeKind::RegFlow &&
+                cluster_of[e.src] != cluster_of[e.dst]) {
+                lat += mach.busLatency();
+            }
+            est[n] = std::max(est[n], est[e.src] + lat);
+        }
+    }
+    for (NodeId n : order) {
+        r.length = std::max(
+            r.length, est[n] + mach.latency(ddg.node(n).cls));
+    }
+
+    // --- Register width. ------------------------------------------------
+    const auto widths = estimateRegisterWidth(ddg, mach, cluster_of);
+    for (int c = 0; c < clusters; ++c) {
+        r.regOverflow +=
+            std::max(0, widths[c] - mach.regsPerCluster());
+    }
+
+    // --- Imbalance. ----------------------------------------------------
+    const auto [mn, mx] = std::minmax_element(ops_in_cluster.begin(),
+                                              ops_in_cluster.end());
+    r.imbalance = *mx - *mn;
+
+    return r;
+}
+
+} // namespace cvliw

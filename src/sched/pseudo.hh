@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pseudo-scheduler: a fast estimate of how well a partition will
+ * schedule at a given II, used as the comparison metric during
+ * partition refinement (section 2.3.1, following Aleta et al.,
+ * PACT'02). It does not build a real schedule; it combines
+ *  - the partition-induced II (per-cluster resource pressure and bus
+ *    pressure),
+ *  - an estimated schedule length where every cut register-flow edge
+ *    pays the bus latency, and
+ *  - the number of communications.
+ */
+
+#ifndef CVLIW_SCHED_PSEUDO_HH
+#define CVLIW_SCHED_PSEUDO_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace cvliw
+{
+
+/** Result of pseudo-scheduling a partition at a given II. */
+struct PseudoResult
+{
+    int iiPart = 0;   //!< min II this partition can possibly achieve
+    int overflow = 0; //!< resource/bus slot deficit at the probed II
+    int regOverflow = 0; //!< estimated register-width deficit
+    int length = 0;   //!< estimated schedule length (cut edges pay bus)
+    int comms = 0;    //!< number of communications
+    int imbalance = 0;//!< max-min per-cluster op count spread
+
+    /**
+     * Strict "is this partition better" ordering used by refinement:
+     * lexicographic on (iiPart, overflow + regOverflow, comms,
+     * length, imbalance).
+     */
+    bool better(const PseudoResult &o) const;
+};
+
+/**
+ * II-independent estimate of each cluster's register width: the peak
+ * number of simultaneously live values in an ASAP schedule of one
+ * iteration, plus one permanently live instance per iteration of
+ * distance for loop-carried consumers. A cluster whose width exceeds
+ * its register file can never satisfy MaxLive at any II, so the
+ * refinement must move work out of it.
+ */
+std::vector<int> estimateRegisterWidth(const Ddg &ddg,
+                                       const MachineConfig &mach,
+                                       const std::vector<int> &
+                                           cluster_of);
+
+/**
+ * Evaluate @p cluster_of at initiation interval @p ii.
+ * @param ddg loop body (no copy nodes yet)
+ * @param mach target machine
+ * @param cluster_of cluster per NodeId
+ * @param ii probed initiation interval
+ */
+PseudoResult pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
+                            const std::vector<int> &cluster_of, int ii);
+
+} // namespace cvliw
+
+#endif // CVLIW_SCHED_PSEUDO_HH

@@ -1,0 +1,169 @@
+#include "sched/sms_order.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "ddg/analysis.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+int
+sccRecMii(const Ddg &ddg, const MachineConfig &mach,
+          const std::vector<NodeId> &members)
+{
+    // Collect intra-component edges.
+    std::vector<bool> in(ddg.numNodeSlots(), false);
+    for (NodeId n : members)
+        in[n] = true;
+    std::vector<EdgeId> edges;
+    bool has_cycle_edge = false;
+    for (NodeId n : members) {
+        for (EdgeId eid : ddg.outEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (in[e.dst]) {
+                edges.push_back(eid);
+                if (e.distance > 0)
+                    has_cycle_edge = true;
+            }
+        }
+    }
+    if (!has_cycle_edge)
+        return 0;
+
+    auto positive_cycle = [&](int ii) {
+        std::vector<long long> dist(ddg.numNodeSlots(), 0);
+        const std::size_t passes = members.size();
+        for (std::size_t pass = 0; pass <= passes; ++pass) {
+            bool relaxed = false;
+            for (EdgeId eid : edges) {
+                const DdgEdge &e = ddg.edge(eid);
+                const long long w =
+                    ddg.edgeLatency(eid, mach) -
+                    static_cast<long long>(ii) * e.distance;
+                if (dist[e.src] + w > dist[e.dst]) {
+                    dist[e.dst] = dist[e.src] + w;
+                    relaxed = true;
+                }
+            }
+            if (!relaxed)
+                return false;
+            if (pass == passes)
+                return true;
+        }
+        return false;
+    };
+
+    long long hi = 1;
+    for (EdgeId eid : edges)
+        hi += ddg.edgeLatency(eid, mach);
+    if (!positive_cycle(1))
+        return 1;
+    long long lo = 1;
+    while (lo + 1 < hi) {
+        const long long mid = lo + (hi - lo) / 2;
+        if (positive_cycle(static_cast<int>(mid)))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return static_cast<int>(hi);
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const MachineConfig &mach)
+{
+    const NodeTimes times = computeTimes(ddg, mach);
+    const auto comp = stronglyConnectedComponents(ddg);
+
+    // Group live nodes by SCC.
+    std::map<int, std::vector<NodeId>> by_comp;
+    for (NodeId n : ddg.nodes())
+        by_comp[comp[n]].push_back(n);
+
+    // A component is a recurrence when it has >1 node or a self-loop.
+    auto is_recurrence = [&](const std::vector<NodeId> &members) {
+        if (members.size() > 1)
+            return true;
+        for (EdgeId eid : ddg.outEdges(members[0])) {
+            if (ddg.edge(eid).dst == members[0])
+                return true;
+        }
+        return false;
+    };
+
+    // Priority sets: recurrences by decreasing RecMII, then the rest
+    // by decreasing criticality (depth+height), as one trailing set.
+    struct SetInfo { int recMii; int key2; std::vector<NodeId> nodes; };
+    std::vector<SetInfo> sets;
+    std::vector<NodeId> rest;
+    for (auto &[c, members] : by_comp) {
+        std::sort(members.begin(), members.end());
+        if (is_recurrence(members)) {
+            const int rm = sccRecMii(ddg, mach, members);
+            sets.push_back({rm, -members.front(), members});
+        } else {
+            rest.insert(rest.end(), members.begin(), members.end());
+        }
+    }
+    std::sort(sets.begin(), sets.end(), [](const auto &a, const auto &b) {
+        return std::tie(b.recMii, b.key2) < std::tie(a.recMii, a.key2);
+    });
+    if (!rest.empty())
+        sets.push_back({0, 0, std::move(rest)});
+
+    // Rank per node: its set's position (tighter recurrences first).
+    std::vector<int> rank(ddg.numNodeSlots(), 0);
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+        for (NodeId n : sets[s].nodes)
+            rank[n] = static_cast<int>(s);
+    }
+
+    // Priority-topological order over the distance-0 edges. Placing
+    // producers strictly before their intra-iteration consumers
+    // guarantees that every constraint from an already-placed
+    // *successor* comes through a loop-carried edge, whose window
+    // grows with II - so raising the II always makes progress (the
+    // property the no-backtracking scheduler of section 2.3.2 needs).
+    // Among ready nodes, the tightest recurrence set goes first,
+    // then the most critical node (lowest mobility, largest
+    // depth+height).
+    std::vector<int> indeg(ddg.numNodeSlots(), 0);
+    for (EdgeId eid : ddg.edges()) {
+        if (ddg.edge(eid).distance == 0)
+            ++indeg[ddg.edge(eid).dst];
+    }
+
+    using Key = std::tuple<int, int, int, NodeId>;
+    auto key_of = [&](NodeId n) {
+        return Key(rank[n], times.mobility(n),
+                   -(times.depth[n] + times.height[n]), n);
+    };
+    std::set<Key> ready;
+    for (NodeId n : ddg.nodes()) {
+        if (indeg[n] == 0)
+            ready.insert(key_of(n));
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(ddg.numNodes());
+    while (!ready.empty()) {
+        const NodeId n = std::get<3>(*ready.begin());
+        ready.erase(ready.begin());
+        order.push_back(n);
+        for (EdgeId eid : ddg.outEdges(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.distance == 0 && --indeg[e.dst] == 0)
+                ready.insert(key_of(e.dst));
+        }
+    }
+
+    cv_assert(static_cast<int>(order.size()) == ddg.numNodes(),
+              "SMS order lost nodes");
+    return order;
+}
+
+} // namespace cvliw

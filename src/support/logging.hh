@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 fatal/panic
+ * discipline: panic() for internal invariant violations (bugs in this
+ * library), fatal() for unrecoverable user errors (bad configuration,
+ * malformed input), warn()/inform() for advisory messages.
+ */
+
+#ifndef CVLIW_SUPPORT_LOGGING_HH
+#define CVLIW_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace cvliw
+{
+
+namespace detail
+{
+
+/** Concatenate a parameter pack into a single string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Terminate via std::abort after printing a panic banner. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminate via std::exit(1) after printing a fatal banner. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning banner to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Global verbosity switch for inform(); warnings always print. */
+extern bool verboseLogging;
+
+} // namespace detail
+
+/** Enable or disable inform() output (warnings are unaffected). */
+void setVerboseLogging(bool enabled);
+
+} // namespace cvliw
+
+/**
+ * Report an internal library bug and abort. Use only for conditions
+ * that can never happen unless the library itself is broken.
+ */
+#define cv_panic(...)                                                   \
+    ::cvliw::detail::panicImpl(__FILE__, __LINE__,                      \
+                               ::cvliw::detail::concat(__VA_ARGS__))
+
+/**
+ * Report an unrecoverable user-level error (bad machine string, invalid
+ * DDG, ...) and exit with status 1.
+ */
+#define cv_fatal(...)                                                   \
+    ::cvliw::detail::fatalImpl(__FILE__, __LINE__,                      \
+                               ::cvliw::detail::concat(__VA_ARGS__))
+
+/** Advisory message about suspicious but tolerated conditions. */
+#define cv_warn(...)                                                    \
+    ::cvliw::detail::warnImpl(::cvliw::detail::concat(__VA_ARGS__))
+
+/** Progress/status message; silenced unless verbose logging is on. */
+#define cv_inform(...)                                                  \
+    ::cvliw::detail::informImpl(::cvliw::detail::concat(__VA_ARGS__))
+
+/** Internal invariant check; panics with the condition text on failure. */
+#define cv_assert(cond, ...)                                            \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::cvliw::detail::panicImpl(__FILE__, __LINE__,              \
+                ::cvliw::detail::concat("assertion failed: ", #cond,    \
+                                        " ", ##__VA_ARGS__));           \
+        }                                                               \
+    } while (0)
+
+#endif // CVLIW_SUPPORT_LOGGING_HH

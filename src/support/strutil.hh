@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef CVLIW_SUPPORT_STRUTIL_HH
+#define CVLIW_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace cvliw
+{
+
+/** Join @p parts with @p sep ("a,b,c" style). */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Format a double with @p decimals fractional digits. */
+std::string fixed(double value, int decimals);
+
+/** Format @p value as a percentage string with @p decimals digits. */
+std::string percent(double value, int decimals = 1);
+
+/** True when @p s consists only of decimal digits (and is non-empty). */
+bool allDigits(const std::string &s);
+
+/** Left-pad @p s with spaces to @p width. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to @p width. */
+std::string padRight(const std::string &s, std::size_t width);
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_STRUTIL_HH

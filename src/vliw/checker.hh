@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Structural validation of modulo schedules: dependence timing,
+ * modulo resource constraints, exact per-bus occupancy, cluster
+ * visibility of register reads and register pressure. The test suite
+ * runs every produced schedule through this checker.
+ */
+
+#ifndef CVLIW_VLIW_CHECKER_HH
+#define CVLIW_VLIW_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "partition/partition.hh"
+#include "sched/scheduler.hh"
+
+namespace cvliw
+{
+
+/** Options mirroring the scheduler variant that built the schedule. */
+struct CheckOptions
+{
+    /** Figure-12 mode: copy latency was treated as zero. */
+    bool zeroBusLatencyForLength = false;
+};
+
+/**
+ * Check @p sched against @p ddg/@p part/@p mach.
+ * @return human-readable violations; empty means the schedule is
+ *         valid
+ */
+std::vector<std::string>
+checkSchedule(const Ddg &ddg, const MachineConfig &mach,
+              const Partition &part, const Schedule &sched,
+              const CheckOptions &opts = {});
+
+} // namespace cvliw
+
+#endif // CVLIW_VLIW_CHECKER_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Human-readable kernel view of a modulo schedule: one row per II
+ * phase, one column per cluster (plus the buses), each op annotated
+ * with its pipeline stage. Used by the examples to show what the
+ * clustered VLIW actually executes.
+ */
+
+#ifndef CVLIW_VLIW_KERNEL_HH
+#define CVLIW_VLIW_KERNEL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hh"
+#include "sched/scheduler.hh"
+
+namespace cvliw
+{
+
+/** Printable kernel of a modulo schedule. */
+class KernelView
+{
+  public:
+    KernelView(const Ddg &ddg, const MachineConfig &mach,
+               const Partition &part, const Schedule &sched);
+
+    /** Render the kernel table. */
+    void print(std::ostream &os) const;
+
+    /** Ops issued in @p cluster at kernel @p phase ("label/stage"). */
+    const std::vector<std::string> &ops(int phase, int cluster) const;
+
+    int ii() const { return ii_; }
+    int stageCount() const { return stageCount_; }
+
+  private:
+    int ii_;
+    int stageCount_;
+    int numClusters_;
+    // cells_[phase][cluster] -> list of "label/s<stage>"
+    std::vector<std::vector<std::vector<std::string>>> cells_;
+    // busCells_[phase] -> list of copy labels occupying a bus
+    std::vector<std::vector<std::string>> busCells_;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_VLIW_KERNEL_HH

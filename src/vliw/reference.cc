@@ -1,0 +1,118 @@
+#include "vliw/reference.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ddg/analysis.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+liveInValue(std::uint64_t seed, NodeId semantic, long long iter)
+{
+    cv_assert(iter < 0, "live-in value requested for iteration ", iter);
+    return mix64(seed ^ mix64(static_cast<std::uint64_t>(semantic) *
+                              0x9e3779b97f4a7c15ULL) ^
+                 mix64(static_cast<std::uint64_t>(-iter)));
+}
+
+std::uint64_t
+combineValue(std::uint64_t seed, NodeId semantic, OpClass cls,
+             const std::vector<std::uint64_t> &sorted_operands)
+{
+    std::uint64_t h =
+        mix64(seed ^ (static_cast<std::uint64_t>(semantic) + 1) *
+                         0x9e3779b97f4a7c15ULL) ^
+        mix64(static_cast<std::uint64_t>(cls) + 0x1234567ULL);
+    for (std::uint64_t op : sorted_operands)
+        h = mix64(h ^ op);
+    return h;
+}
+
+std::uint64_t
+sourceValue(std::uint64_t seed, NodeId semantic, OpClass cls,
+            long long iter)
+{
+    return combineValue(seed, semantic, cls,
+                        {mix64(static_cast<std::uint64_t>(iter) + 77)});
+}
+
+ReferenceInterpreter::ReferenceInterpreter(const Ddg &original,
+                                           int iterations,
+                                           std::uint64_t seed)
+    : ddg_(original), iterations_(iterations), seed_(seed)
+{
+    cv_assert(iterations >= 1);
+    const auto order = topoOrder(ddg_);
+    values_.assign(iterations,
+                   std::vector<std::uint64_t>(ddg_.numNodeSlots(), 0));
+
+    for (int i = 0; i < iterations; ++i) {
+        for (NodeId v : order) {
+            const DdgNode &node = ddg_.node(v);
+            // Canonical operand order: (producer semantic, distance,
+            // value). The simulator reproduces the same ordering on
+            // the transformed graph, where copies collapse to their
+            // sources and replicas share semantic ids.
+            std::vector<std::tuple<NodeId, int, std::uint64_t>> ops;
+            for (EdgeId eid : ddg_.inEdges(v)) {
+                const DdgEdge &e = ddg_.edge(eid);
+                if (e.kind != EdgeKind::RegFlow)
+                    continue;
+                const long long src_iter =
+                    static_cast<long long>(i) - e.distance;
+                const std::uint64_t val =
+                    src_iter >= 0
+                        ? values_[src_iter][e.src]
+                        : liveInValue(seed_, e.src, src_iter);
+                ops.emplace_back(e.src, e.distance, val);
+            }
+            std::sort(ops.begin(), ops.end());
+            std::vector<std::uint64_t> operand_values;
+            operand_values.reserve(ops.size());
+            for (const auto &[p, d, val] : ops) {
+                (void)p;
+                (void)d;
+                operand_values.push_back(val);
+            }
+            if (operand_values.empty()) {
+                // Source node (e.g. a load off a live-in address):
+                // deterministic per (node, iteration).
+                values_[i][v] = sourceValue(seed_, v, node.cls, i);
+            } else {
+                values_[i][v] =
+                    combineValue(seed_, v, node.cls, operand_values);
+            }
+        }
+    }
+}
+
+std::uint64_t
+ReferenceInterpreter::value(NodeId semantic, long long iter) const
+{
+    if (iter < 0)
+        return liveInValue(seed_, semantic, iter);
+    cv_assert(iter < iterations_, "iteration ", iter,
+              " beyond simulated range");
+    return values_[iter][semantic];
+}
+
+} // namespace cvliw

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reference interpreter: executes the *original* loop DDG
+ * sequentially, producing a deterministic 64-bit value per
+ * (instruction, iteration). The VLIW simulator checks that every
+ * instance (original, replica or copy) in the transformed, scheduled
+ * graph computes exactly the reference value — replication must
+ * never change loop semantics.
+ */
+
+#ifndef CVLIW_VLIW_REFERENCE_HH
+#define CVLIW_VLIW_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace cvliw
+{
+
+/** Value of a live-in (an operand from before iteration 0). */
+std::uint64_t liveInValue(std::uint64_t seed, NodeId semantic,
+                          long long iter);
+
+/**
+ * Deterministic combining function shared by the reference
+ * interpreter and the simulator. Operands must be pre-sorted into
+ * the canonical order: ascending (producer semantic id, distance,
+ * value).
+ */
+std::uint64_t
+combineValue(std::uint64_t seed, NodeId semantic, OpClass cls,
+             const std::vector<std::uint64_t> &sorted_operands);
+
+/**
+ * Value of an operand-less source node (e.g. a load whose address is
+ * loop-invariant) at iteration @p iter.
+ */
+std::uint64_t sourceValue(std::uint64_t seed, NodeId semantic,
+                          OpClass cls, long long iter);
+
+/**
+ * Evaluates the original DDG for a number of iterations.
+ */
+class ReferenceInterpreter
+{
+  public:
+    /**
+     * @param original the untransformed loop body
+     * @param iterations how many iterations to evaluate
+     * @param seed live-in seed
+     */
+    ReferenceInterpreter(const Ddg &original, int iterations,
+                         std::uint64_t seed = 1);
+
+    /** Value of @p semantic (an original NodeId) at @p iter. */
+    std::uint64_t value(NodeId semantic, long long iter) const;
+
+    int iterations() const { return iterations_; }
+
+  private:
+    const Ddg &ddg_;
+    int iterations_;
+    std::uint64_t seed_;
+    /** values_[iter][node] */
+    std::vector<std::vector<std::uint64_t>> values_;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_VLIW_REFERENCE_HH

@@ -1,0 +1,188 @@
+#include "vliw/simulator.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "ddg/analysis.hh"
+#include "support/logging.hh"
+#include "vliw/checker.hh"
+#include "vliw/reference.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+/** Copies and spill stores/reloads forward their operand's value. */
+bool
+isTransparent(const DdgNode &node)
+{
+    return node.cls == OpClass::Copy || node.isSpill;
+}
+
+/**
+ * Collapse a producer through copies and spill code to its semantic
+ * source, accumulating the edge distances on the way.
+ */
+void
+collapseTransparent(const Ddg &ddg, NodeId &p, int &distance)
+{
+    while (isTransparent(ddg.node(p))) {
+        const auto in = ddg.inEdges(p);
+        NodeId src = invalidNode;
+        for (EdgeId eid : in) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.kind == EdgeKind::RegFlow ||
+                e.kind == EdgeKind::Spill) {
+                src = e.src;
+                distance += e.distance;
+                break;
+            }
+        }
+        cv_assert(src != invalidNode,
+                  "transparent node without operand");
+        p = src;
+    }
+}
+
+} // namespace
+
+SimulationReport
+simulate(const Ddg &final_ddg, const MachineConfig &mach,
+         const Partition &part, const Schedule &sched,
+         const Ddg &original, int iterations, std::uint64_t seed)
+{
+    SimulationReport report;
+    report.iterationsSimulated = iterations;
+
+    // Structural checks first; a broken schedule is not worth
+    // executing.
+    report.errors = checkSchedule(final_ddg, mach, part, sched);
+    if (!report.errors.empty()) {
+        report.ok = false;
+        return report;
+    }
+
+    const ReferenceInterpreter ref(original, iterations, seed);
+    const auto order = topoOrder(final_ddg);
+    const int ii = sched.ii;
+
+    // values[iter][node]
+    std::vector<std::vector<std::uint64_t>> values(
+        iterations,
+        std::vector<std::uint64_t>(final_ddg.numNodeSlots(), 0));
+
+    for (int i = 0; i < iterations; ++i) {
+        for (NodeId v : order) {
+            const DdgNode &node = final_ddg.node(v);
+
+            // Gather operands in the canonical (semantic, distance,
+            // value) order that the reference interpreter uses.
+            std::vector<std::tuple<NodeId, int, std::uint64_t>> ops;
+            for (EdgeId eid : final_ddg.inEdges(v)) {
+                const DdgEdge &e = final_ddg.edge(eid);
+                if (e.kind == EdgeKind::Memory)
+                    continue;
+                const NodeId p = e.src;
+                const DdgNode &pn = final_ddg.node(p);
+
+                // Cluster visibility: a register can be read where it
+                // was produced; copies deliver to every cluster; the
+                // spill slot lives in the centralized cache.
+                if (e.kind == EdgeKind::RegFlow &&
+                    (node.cls == OpClass::Copy ||
+                     pn.cls != OpClass::Copy)) {
+                    if (part.clusterOf(p) != part.clusterOf(v)) {
+                        report.errors.push_back(
+                            node.label + " reads " + pn.label +
+                            " across clusters without a copy");
+                    }
+                }
+
+                // Dynamic dependence timing.
+                const long long src_iter =
+                    static_cast<long long>(i) - e.distance;
+                if (src_iter >= 0) {
+                    const int lat =
+                        final_ddg.edgeLatency(eid, mach);
+                    const long long ready =
+                        sched.start[p] + src_iter * ii + lat;
+                    const long long reads =
+                        sched.start[v] + static_cast<long long>(i) * ii;
+                    if (reads < ready) {
+                        report.errors.push_back(
+                            node.label + "@" + std::to_string(i) +
+                            " reads " + pn.label + " at cycle " +
+                            std::to_string(reads) +
+                            " before it is ready at " +
+                            std::to_string(ready));
+                    }
+                }
+
+                // Operand value, collapsing copies and spill code.
+                NodeId sem_src = p;
+                int total_dist = e.distance;
+                collapseTransparent(final_ddg, sem_src, total_dist);
+                const NodeId sem =
+                    final_ddg.node(sem_src).semanticId;
+                const long long eff_iter =
+                    static_cast<long long>(i) - e.distance;
+                std::uint64_t val;
+                if (eff_iter >= 0) {
+                    val = values[eff_iter][p];
+                } else {
+                    // Live-in: the value semantically equals the
+                    // collapsed source at the collapsed distance.
+                    const long long sem_iter =
+                        static_cast<long long>(i) - total_dist;
+                    val = sem_iter >= 0
+                              ? ref.value(sem, sem_iter)
+                              : liveInValue(seed, sem, sem_iter);
+                }
+                ops.emplace_back(sem, total_dist, val);
+            }
+
+            if (isTransparent(node)) {
+                cv_assert(ops.size() == 1,
+                          "transparent node with fan-in != 1");
+                values[i][v] = std::get<2>(ops[0]);
+                continue;
+            }
+
+            std::sort(ops.begin(), ops.end());
+            std::vector<std::uint64_t> operand_values;
+            operand_values.reserve(ops.size());
+            for (const auto &[s, d, val] : ops) {
+                (void)s;
+                (void)d;
+                operand_values.push_back(val);
+            }
+            if (operand_values.empty()) {
+                values[i][v] =
+                    sourceValue(seed, node.semanticId, node.cls, i);
+            } else {
+                values[i][v] = combineValue(seed, node.semanticId,
+                                            node.cls, operand_values);
+            }
+
+            // Compare against the reference execution.
+            const std::uint64_t expected =
+                ref.value(node.semanticId, i);
+            ++report.valuesChecked;
+            if (values[i][v] != expected) {
+                report.errors.push_back(
+                    node.label + "@" + std::to_string(i) +
+                    " computed a value different from the original " +
+                    original.node(node.semanticId).label);
+            }
+        }
+        if (report.errors.size() > 20)
+            break; // enough evidence
+    }
+
+    report.ok = report.errors.empty();
+    return report;
+}
+
+} // namespace cvliw

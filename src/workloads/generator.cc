@@ -1,0 +1,254 @@
+#include "workloads/generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+std::string
+Loop::name() const
+{
+    return benchmark + "#" + std::to_string(index);
+}
+
+namespace
+{
+
+/** State for generating one dataflow component. */
+struct ComponentBuilder
+{
+    Ddg &ddg;
+    const BenchmarkProfile &prof;
+    Rng &rng;
+    std::string prefix;
+
+    std::vector<NodeId> intNodes;
+    std::vector<NodeId> loads;
+    std::vector<NodeId> chainTails;
+
+    NodeId
+    addInt(const std::string &label, std::vector<NodeId> operands)
+    {
+        const NodeId n =
+            ddg.addNode(OpClass::IntAlu, prefix + label);
+        for (NodeId p : operands)
+            ddg.addEdge(p, n, EdgeKind::RegFlow, 0);
+        intNodes.push_back(n);
+        return n;
+    }
+
+    void
+    build(int ops_budget)
+    {
+        // --- split the budget ----------------------------------------
+        int int_ops = std::max(
+            1, static_cast<int>(std::lround(ops_budget *
+                                            prof.intFrac)));
+        int mem_ops = std::max(
+            2, static_cast<int>(std::lround(ops_budget *
+                                            prof.memFrac)));
+        int fp_ops = std::max(1, ops_budget - int_ops - mem_ops);
+
+        int num_loads =
+            std::max(1, static_cast<int>(std::lround(mem_ops * 0.6)));
+        int num_stores = std::max(0, mem_ops - num_loads);
+
+        // --- integer top: induction + address arithmetic --------------
+        const NodeId ind = ddg.addNode(OpClass::IntAlu,
+                                       prefix + "i");
+        ddg.addEdge(ind, ind, EdgeKind::RegFlow, 1); // i = i + 1
+        intNodes.push_back(ind);
+        for (int k = 1; k < int_ops; ++k) {
+            // Address computations mostly hang directly off the
+            // induction variable (a[i], b[i], ...), occasionally off
+            // an earlier address op (multi-dimensional indexing).
+            // A flat top keeps streams separable - the partitioner
+            // can cut between them - while the induction variable
+            // remains the shared root whose replication is cheap.
+            const NodeId base =
+                rng.chance(0.35) && intNodes.size() > 1
+                    ? intNodes[rng.uniformInt(1, intNodes.size() - 1)]
+                    : ind;
+            addInt("a" + std::to_string(k), {base});
+        }
+
+        // --- loads -----------------------------------------------------
+        for (int k = 0; k < num_loads; ++k) {
+            // Round-robin over the address ops: each load gets its
+            // own address stream whenever enough exist.
+            NodeId addr = ind;
+            if (intNodes.size() > 1)
+                addr = intNodes[1 + (k % (intNodes.size() - 1))];
+            const NodeId ld = ddg.addNode(
+                OpClass::Load, prefix + "ld" + std::to_string(k));
+            ddg.addEdge(addr, ld, EdgeKind::RegFlow, 0);
+            loads.push_back(ld);
+        }
+
+        // --- fp chains ---------------------------------------------------
+        const int num_chains = std::max(
+            1,
+            static_cast<int>(std::lround(fp_ops * prof.parallelism)));
+        std::vector<int> chain_len(num_chains, 0);
+        for (int k = 0; k < fp_ops; ++k)
+            ++chain_len[k % num_chains];
+
+        std::vector<std::vector<NodeId>> chains(num_chains);
+        for (int c = 0; c < num_chains; ++c) {
+            const bool has_div = rng.chance(prof.fpDivProb);
+            const int div_pos =
+                has_div ? rng.uniformInt(0, chain_len[c] - 1) : -1;
+            for (int k = 0; k < chain_len[c]; ++k) {
+                OpClass cls = OpClass::FpAlu;
+                if (k == div_pos)
+                    cls = OpClass::FpDiv;
+                else if (rng.chance(prof.fpMulFrac))
+                    cls = OpClass::FpMul;
+
+                const NodeId op = ddg.addNode(
+                    cls, prefix + "f" + std::to_string(c) + "_" +
+                             std::to_string(k));
+
+                // First operand: previous chain op, else this
+                // chain's (mostly private) load stream.
+                if (k > 0) {
+                    ddg.addEdge(chains[c][k - 1], op,
+                                EdgeKind::RegFlow, 0);
+                } else {
+                    const NodeId ld = loads[c % loads.size()];
+                    ddg.addEdge(ld, op, EdgeKind::RegFlow, 0);
+                }
+                // Sharing: a load everyone wants, or a value from
+                // another chain (cross links create the wide, shared
+                // dataflow that makes clustering expensive).
+                if (rng.chance(prof.sharedLoadProb)) {
+                    const NodeId ld =
+                        loads[rng.uniformInt(0, loads.size() - 1)];
+                    ddg.addEdge(ld, op, EdgeKind::RegFlow, 0);
+                }
+                if (c > 0 && rng.chance(prof.crossProb)) {
+                    const auto &other =
+                        chains[rng.uniformInt(0, c - 1)];
+                    if (!other.empty()) {
+                        const NodeId cross = other[rng.uniformInt(
+                            0, other.size() - 1)];
+                        ddg.addEdge(cross, op, EdgeKind::RegFlow, 0);
+                    }
+                }
+                chains[c].push_back(op);
+            }
+            if (chains[c].empty())
+                continue;
+
+            // Reduction: the chain accumulates across iterations.
+            if (rng.chance(prof.recurProb)) {
+                const NodeId acc = chains[c].back();
+                ddg.addEdge(acc, acc, EdgeKind::RegFlow, 1);
+                ddg.node(acc).liveOut = true;
+            }
+            chainTails.push_back(chains[c].back());
+        }
+
+        // --- stores -------------------------------------------------------
+        std::vector<NodeId> stores;
+        for (int k = 0; k < num_stores; ++k) {
+            const NodeId st = ddg.addNode(
+                OpClass::Store, prefix + "st" + std::to_string(k));
+            const NodeId val =
+                chainTails[rng.uniformInt(0, chainTails.size() - 1)];
+            const NodeId addr =
+                intNodes[rng.uniformInt(0, intNodes.size() - 1)];
+            ddg.addEdge(val, st, EdgeKind::RegFlow, 0);
+            ddg.addEdge(addr, st, EdgeKind::RegFlow, 0);
+            stores.push_back(st);
+        }
+
+        // Loop-carried memory dependences: read-modify-write array
+        // patterns (a[i] = f(a[i-d])). The store writes what a load
+        // *upstream of it* will read d iterations later, closing a
+        // memory recurrence through the centralized cache. Using an
+        // ancestor load keeps the dependence a true recurrence, so
+        // RecMII accounts for it (Figure 1: recurrences rarely force
+        // the II above MII precisely because MII already covers
+        // them).
+        for (NodeId st : stores) {
+            if (!rng.chance(prof.memDepProb))
+                continue;
+            // Collect ancestor loads of the store via flow edges.
+            std::vector<NodeId> anc;
+            std::vector<bool> seen(ddg.numNodeSlots(), false);
+            std::vector<NodeId> work{st};
+            while (!work.empty()) {
+                const NodeId v = work.back();
+                work.pop_back();
+                for (NodeId p : ddg.flowPreds(v)) {
+                    if (seen[p])
+                        continue;
+                    seen[p] = true;
+                    if (ddg.node(p).cls == OpClass::Load)
+                        anc.push_back(p);
+                    work.push_back(p);
+                }
+            }
+            if (anc.empty())
+                continue;
+            const NodeId ld =
+                anc[rng.uniformInt(0, anc.size() - 1)];
+            const int dist =
+                static_cast<int>(rng.uniformInt(2, 5));
+            ddg.addEdge(st, ld, EdgeKind::Memory, dist, 1);
+        }
+    }
+};
+
+} // namespace
+
+Loop
+generateLoop(const BenchmarkProfile &prof, Rng &rng, int index)
+{
+    Loop loop;
+    loop.benchmark = prof.name;
+    loop.index = index;
+
+    const int target_ops =
+        static_cast<int>(rng.uniformInt(prof.minOps, prof.maxOps));
+    int components = prof.components;
+    if (rng.chance(prof.componentJitter))
+        ++components;
+    components = std::max(1, components);
+
+    const int per_component = std::max(6, target_ops / components);
+    for (int comp = 0; comp < components; ++comp) {
+        ComponentBuilder builder{loop.ddg, prof, rng,
+                                 "c" + std::to_string(comp) + ".",
+                                 {}, {}, {}};
+        builder.build(per_component);
+    }
+
+    // Every non-store sink is live-out: loops produce either memory
+    // writes or values consumed after the loop. This also protects
+    // results from the post-replication dead-code elimination.
+    for (NodeId n : loop.ddg.nodes()) {
+        if (loop.ddg.node(n).cls == OpClass::Store)
+            continue;
+        if (loop.ddg.flowSuccs(n).empty())
+            loop.ddg.node(n).liveOut = true;
+    }
+
+    // Dynamic profile: lognormal-ish jitter around the averages.
+    const double iter_jit =
+        std::exp((rng.uniformReal() - 0.5) * 2.0 * prof.itersJitter);
+    loop.profile.avgIters =
+        std::max(1.0, std::round(prof.avgIters * iter_jit));
+    const double visit_jit =
+        std::exp((rng.uniformReal() - 0.5) * 2.0);
+    loop.profile.visits =
+        std::max(1.0, std::round(prof.visitsScale * visit_jit));
+
+    return loop;
+}
+
+} // namespace cvliw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic loop generator. Builds DDGs with the canonical structure
+ * of SPECfp95 inner loops: integer address arithmetic at the top
+ * (fed by induction variables), loads below it, floating-point
+ * computation chains in the middle (with cross-chain sharing and
+ * optional reductions) and stores at the bottom. The paper's
+ * observation that replicated instructions are mostly integer ops
+ * ("usually, in the upper levels of the DDG there are integer
+ * instructions") emerges directly from this shape.
+ */
+
+#ifndef CVLIW_WORKLOADS_GENERATOR_HH
+#define CVLIW_WORKLOADS_GENERATOR_HH
+
+#include "ddg/ddg.hh"
+#include "support/rng.hh"
+#include "workloads/profiles.hh"
+
+namespace cvliw
+{
+
+/** One generated loop. */
+struct Loop
+{
+    std::string benchmark; //!< owning benchmark name
+    int index = 0;         //!< loop number within the benchmark
+    Ddg ddg;               //!< loop body
+    LoopProfile profile;   //!< dynamic execution profile
+
+    /** "benchmark#index". */
+    std::string name() const;
+};
+
+/**
+ * Generate one loop from @p profile.
+ * @param rng deterministic generator (the caller controls seeding)
+ * @param index loop number, stored in the result
+ */
+Loop generateLoop(const BenchmarkProfile &profile, Rng &rng,
+                  int index);
+
+} // namespace cvliw
+
+#endif // CVLIW_WORKLOADS_GENERATOR_HH

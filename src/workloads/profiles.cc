@@ -1,0 +1,182 @@
+#include "workloads/profiles.hh"
+
+namespace cvliw
+{
+
+const std::vector<BenchmarkProfile> &
+specFp95Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = [] {
+        std::vector<BenchmarkProfile> p;
+
+        {
+            BenchmarkProfile b;
+            b.name = "tomcatv";
+            b.numLoops = 12;
+            b.minOps = 40;
+            b.maxOps = 90;
+            b.components = 1;
+            b.parallelism = 0.34;
+            b.crossProb = 0.08;
+            b.sharedLoadProb = 0.12;
+            b.recurProb = 0.08;
+            b.avgIters = 250;
+            b.visitsScale = 400;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "swim";
+            b.numLoops = 20;
+            b.minOps = 30;
+            b.maxOps = 70;
+            b.components = 1;
+            b.parallelism = 0.30;
+            b.crossProb = 0.05;
+            b.sharedLoadProb = 0.08;
+            b.recurProb = 0.08;
+            b.avgIters = 500;
+            b.visitsScale = 300;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "su2cor";
+            b.numLoops = 66;
+            b.minOps = 25;
+            b.maxOps = 80;
+            b.components = 1;
+            b.parallelism = 0.40;
+            b.crossProb = 0.10;
+            b.sharedLoadProb = 0.14;
+            b.recurProb = 0.10;
+            b.avgIters = 120;
+            b.visitsScale = 200;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "hydro2d";
+            b.numLoops = 94;
+            b.minOps = 20;
+            b.maxOps = 60;
+            b.components = 1;
+            b.componentJitter = 0.5;
+            b.parallelism = 0.25;
+            b.crossProb = 0.03;
+            b.sharedLoadProb = 0.05;
+            b.recurProb = 0.15;
+            b.avgIters = 100;
+            b.visitsScale = 150;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "mgrid";
+            b.numLoops = 20;
+            b.minOps = 35;
+            b.maxOps = 80;
+            b.components = 4;
+            b.parallelism = 0.20;
+            b.crossProb = 0.02;
+            b.sharedLoadProb = 0.05;
+            b.recurProb = 0.10;
+            b.avgIters = 60;
+            b.visitsScale = 600;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "applu";
+            b.numLoops = 96;
+            b.minOps = 20;
+            b.maxOps = 55;
+            b.components = 1;
+            b.componentJitter = 0.5;
+            b.parallelism = 0.30;
+            b.crossProb = 0.06;
+            b.sharedLoadProb = 0.09;
+            b.recurProb = 0.12;
+            b.avgIters = 4; // tiny trip counts (section 4)
+            b.itersJitter = 0.25;
+            b.visitsScale = 3000;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "turb3d";
+            b.numLoops = 54;
+            b.minOps = 15;
+            b.maxOps = 50;
+            b.components = 1;
+            b.componentJitter = 0.5;
+            b.parallelism = 0.22;
+            b.crossProb = 0.03;
+            b.sharedLoadProb = 0.05;
+            b.recurProb = 0.18;
+            b.avgIters = 40;
+            b.visitsScale = 250;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "apsi";
+            b.numLoops = 116;
+            b.minOps = 10;
+            b.maxOps = 45;
+            b.components = 1;
+            b.componentJitter = 0.5;
+            b.parallelism = 0.22;
+            b.crossProb = 0.03;
+            b.sharedLoadProb = 0.05;
+            b.recurProb = 0.20;
+            b.avgIters = 50;
+            b.visitsScale = 150;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "fpppp";
+            b.numLoops = 40;
+            b.minOps = 70;
+            b.maxOps = 160;
+            b.components = 1;
+            b.parallelism = 0.30;
+            b.crossProb = 0.05;
+            b.sharedLoadProb = 0.07;
+            b.recurProb = 0.05;
+            b.avgIters = 30;
+            b.visitsScale = 80;
+            p.push_back(b);
+        }
+        {
+            BenchmarkProfile b;
+            b.name = "wave5";
+            b.numLoops = 160;
+            b.minOps = 10;
+            b.maxOps = 50;
+            b.components = 1;
+            b.componentJitter = 0.5;
+            b.parallelism = 0.25;
+            b.crossProb = 0.03;
+            b.sharedLoadProb = 0.05;
+            b.recurProb = 0.15;
+            b.avgIters = 60;
+            b.visitsScale = 180;
+            p.push_back(b);
+        }
+        return p;
+    }();
+    return profiles;
+}
+
+int
+totalSuiteLoops()
+{
+    int total = 0;
+    for (const auto &p : specFp95Profiles())
+        total += p.numLoops;
+    return total;
+}
+
+} // namespace cvliw

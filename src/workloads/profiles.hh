@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Benchmark profiles for the synthetic SPECfp95 loop suite.
+ *
+ * The paper evaluates 678 modulo-schedulable innermost loops from
+ * SPECfp95, compiled by the Ictineo compiler, with visit/iteration
+ * profiles from the `test` inputs. Neither the compiler IR nor the
+ * profiles are available, so this module defines per-benchmark
+ * generation profiles whose loop populations reproduce the
+ * *qualitative* properties the paper reports per program:
+ *
+ *  - su2cor / tomcatv / swim: single-component, wide, heavily shared
+ *    dataflow; communication-bound on 4 clusters; small integer-top
+ *    replication subgraphs (big replication wins: +70%/65%/50%),
+ *  - mgrid: several nearly independent stencil legs; partitions
+ *    cleanly, so clustering barely hurts and replication gains little
+ *    (Figure 8),
+ *  - applu: tiny trip counts (about 4 iterations per visit), so II
+ *    improvements barely move IPC (section 4, Figure 9),
+ *  - fpppp: very large loop bodies,
+ *  - hydro2d / turb3d / apsi / wave5: middling shapes.
+ */
+
+#ifndef CVLIW_WORKLOADS_PROFILES_HH
+#define CVLIW_WORKLOADS_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+namespace cvliw
+{
+
+/** Dynamic execution profile of one loop (from "profiling"). */
+struct LoopProfile
+{
+    double visits = 1.0;   //!< times the loop is entered
+    double avgIters = 1.0; //!< average iterations per visit
+};
+
+/** Generation parameters for one benchmark's loop population. */
+struct BenchmarkProfile
+{
+    std::string name;
+    int numLoops = 0;
+
+    // --- static shape -------------------------------------------------
+    int minOps = 10;        //!< smallest loop body (ops)
+    int maxOps = 50;        //!< largest loop body (ops)
+    int components = 1;     //!< independent dataflow components
+    double componentJitter = 0.0; //!< chance of one extra component
+    double parallelism = 0.3; //!< fp chains per fp op (width)
+    double crossProb = 0.2;   //!< chain op also reads another chain
+    double sharedLoadProb = 0.3; //!< chain op reads a shared load
+    double recurProb = 0.15;  //!< chain becomes a reduction
+    double fpMulFrac = 0.4;   //!< fp ops that are multiplies
+    double fpDivProb = 0.05;  //!< chains containing one divide
+    double intFrac = 0.28;    //!< share of integer (address) ops
+    double memFrac = 0.27;    //!< share of memory ops
+    double memDepProb = 0.1;  //!< loop-carried store->load mem edge
+
+    // --- dynamic profile ----------------------------------------------
+    double avgIters = 100.0;
+    double itersJitter = 0.5; //!< relative spread of trip counts
+    double visitsScale = 100.0;
+};
+
+/** The ten SPECfp95 benchmarks (678 loops in total, as in the paper). */
+const std::vector<BenchmarkProfile> &specFp95Profiles();
+
+/** Sum of numLoops over all profiles (== 678). */
+int totalSuiteLoops();
+
+} // namespace cvliw
+
+#endif // CVLIW_WORKLOADS_PROFILES_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * DDG analysis tests: topological order, ASAP/ALAP, SCCs, positive
+ * cycles and RecMII.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ddg/analysis.hh"
+#include "ddg/builder.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+Ddg
+chainGraph()
+{
+    DdgBuilder b;
+    b.op("ld", OpClass::Load);           // lat 2
+    b.op("f1", OpClass::FpAlu, {"ld"});  // lat 3
+    b.op("f2", OpClass::FpMul, {"f1"});  // lat 6
+    b.op("st", OpClass::Store, {"f2"});
+    return b.take();
+}
+
+TEST(TopoOrder, RespectsEdges)
+{
+    const Ddg g = chainGraph();
+    const auto order = topoOrder(g);
+    ASSERT_EQ(order.size(), 4u);
+    std::vector<int> pos(g.numNodeSlots());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[order[i]] = static_cast<int>(i);
+    for (EdgeId eid : g.edges()) {
+        const DdgEdge &e = g.edge(eid);
+        if (e.distance == 0)
+            EXPECT_LT(pos[e.src], pos[e.dst]);
+    }
+}
+
+TEST(TopoOrder, IgnoresLoopCarriedEdges)
+{
+    DdgBuilder b;
+    b.op("acc", OpClass::FpAlu);
+    b.flow("acc", "acc", 1); // recurrence, not a topo cycle
+    const Ddg g = b.take();
+    EXPECT_EQ(topoOrder(g).size(), 1u);
+}
+
+TEST(ComputeTimes, AsapAlongChain)
+{
+    const auto m = MachineConfig::unified();
+    const Ddg g = chainGraph();
+    const auto t = computeTimes(g, m);
+    EXPECT_EQ(t.asap[0], 0);  // ld
+    EXPECT_EQ(t.asap[1], 2);  // f1 after load (lat 2)
+    EXPECT_EQ(t.asap[2], 5);  // f2 after f1 (lat 3)
+    EXPECT_EQ(t.asap[3], 11); // st after mul (lat 6)
+    EXPECT_EQ(t.length, 12);  // st start 11 + store latency 1
+}
+
+TEST(ComputeTimes, AlapAndMobility)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("a", OpClass::IntAlu);          // critical: a->c
+    b.op("b", OpClass::IntAlu);          // slack path
+    b.op("c", OpClass::FpDiv, {"a", "b"});
+    const Ddg g = b.take();
+    const auto t = computeTimes(g, m);
+    // Critical path: a(1) -> c(18): length 19.
+    EXPECT_EQ(t.length, 19);
+    EXPECT_EQ(t.mobility(b.id("a")), 0);
+    EXPECT_EQ(t.mobility(b.id("b")), 0); // both feed c with lat 1
+    EXPECT_EQ(t.mobility(b.id("c")), 0);
+}
+
+TEST(ComputeTimes, MobilityOfSlackNode)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("slow", OpClass::FpDiv);          // 18 cycles
+    b.op("fast", OpClass::IntAlu);         // 1 cycle, lots of slack
+    b.op("join", OpClass::FpAlu, {"slow", "fast"});
+    const Ddg g = b.take();
+    const auto t = computeTimes(g, m);
+    EXPECT_EQ(t.mobility(b.id("slow")), 0);
+    EXPECT_EQ(t.mobility(b.id("fast")), 17); // can start 0..17
+}
+
+TEST(ComputeTimes, HeightAndDepth)
+{
+    const auto m = MachineConfig::unified();
+    const Ddg g = chainGraph();
+    const auto t = computeTimes(g, m);
+    EXPECT_EQ(t.depth[0], 0);
+    EXPECT_EQ(t.height[3], 0);
+    EXPECT_EQ(t.height[0], 11); // ld -> f1 -> f2 -> st latencies
+    EXPECT_EQ(t.depth[3], 11);
+}
+
+TEST(Scc, SingleNodesAreOwnComponents)
+{
+    const Ddg g = chainGraph();
+    const auto comp = stronglyConnectedComponents(g);
+    // Four distinct components.
+    std::vector<int> ids;
+    for (NodeId n : g.nodes())
+        ids.push_back(comp[n]);
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(Scc, DetectsRecurrenceComponent)
+{
+    DdgBuilder b;
+    b.op("a", OpClass::IntAlu);
+    b.op("x", OpClass::FpAlu, {"a"});
+    b.op("y", OpClass::FpAlu, {"x"});
+    b.flow("y", "x", 1); // x <-> y recurrence
+    const Ddg g = b.take();
+    const auto comp = stronglyConnectedComponents(g);
+    EXPECT_EQ(comp[b.id("x")], comp[b.id("y")]);
+    EXPECT_NE(comp[b.id("a")], comp[b.id("x")]);
+}
+
+TEST(NodesOnRecurrences, SelfLoopAndCycle)
+{
+    DdgBuilder b;
+    b.op("acc", OpClass::FpAlu);
+    b.flow("acc", "acc", 1);
+    b.op("free", OpClass::IntAlu);
+    const Ddg g = b.take();
+    const auto on = nodesOnRecurrences(g);
+    EXPECT_TRUE(on[b.id("acc")]);
+    EXPECT_FALSE(on[b.id("free")]);
+}
+
+TEST(RecMii, AcyclicGraphIsOne)
+{
+    const auto m = MachineConfig::unified();
+    EXPECT_EQ(recurrenceMii(chainGraph(), m), 1);
+}
+
+TEST(RecMii, SelfLoopFpAdd)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("acc", OpClass::FpAlu); // lat 3
+    b.flow("acc", "acc", 1);
+    // Cycle: latency 3, distance 1 => RecMII 3.
+    EXPECT_EQ(recurrenceMii(b.take(), m), 3);
+}
+
+TEST(RecMii, TwoNodeCycleWithDistanceTwo)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("x", OpClass::FpMul); // lat 6
+    b.op("y", OpClass::FpAlu, {"x"}); // lat 3
+    b.flow("y", "x", 2);
+    // Cycle latency 9, distance 2 => ceil(9/2) = 5.
+    EXPECT_EQ(recurrenceMii(b.take(), m), 5);
+}
+
+TEST(RecMii, TakesWorstCycle)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("a", OpClass::IntAlu);
+    b.flow("a", "a", 1); // ratio 1
+    b.op("d", OpClass::FpDiv);
+    b.flow("d", "d", 1); // ratio 18
+    EXPECT_EQ(recurrenceMii(b.take(), m), 18);
+}
+
+TEST(HasPositiveCycle, ThresholdBehaviour)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("acc", OpClass::FpAlu);
+    b.flow("acc", "acc", 1);
+    const Ddg g = b.take();
+    EXPECT_TRUE(hasPositiveCycle(g, m, 2));
+    EXPECT_FALSE(hasPositiveCycle(g, m, 3));
+}
+
+TEST(RecMii, LongerLoopCarriedChain)
+{
+    const auto m = MachineConfig::unified();
+    DdgBuilder b;
+    b.op("x", OpClass::FpAlu);
+    b.op("y", OpClass::FpAlu, {"x"});
+    b.op("z", OpClass::FpAlu, {"y"});
+    b.flow("z", "x", 1);
+    // 3 fp adds (3 cycles each) over distance 1 => RecMII 9.
+    EXPECT_EQ(recurrenceMii(b.take(), m), 9);
+}
+
+} // namespace
+} // namespace cvliw

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Pipeline (Figure 2 + section 3) tests: II >= MII, cause tracking,
+ * replication on/off behaviour, unified machines and end-to-end
+ * validity of everything the pipeline emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "ddg/builder.hh"
+#include "paper_graph.hh"
+#include "sched/comms.hh"
+#include "sched/mii.hh"
+#include "vliw/checker.hh"
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+TEST(Pipeline, UnifiedMachineSchedulesAtMii)
+{
+    DdgBuilder b;
+    b.op("ld", OpClass::Load);
+    b.op("f", OpClass::FpAlu, {"ld"});
+    b.op("st", OpClass::Store, {"f"});
+    const Ddg g = b.take();
+    const auto m = MachineConfig::unified();
+
+    const auto r = compile(g, m);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.ii, r.mii);
+    EXPECT_EQ(r.comsFinal, 0);
+    EXPECT_FALSE(r.finalDdg.hasCopies());
+    EXPECT_TRUE(
+        checkSchedule(r.finalDdg, m, r.partition, r.schedule).empty());
+}
+
+TEST(Pipeline, IiNeverBelowMii)
+{
+    const auto loops = buildBenchmark("apsi");
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    for (std::size_t i = 0; i < 6 && i < loops.size(); ++i) {
+        const auto r = compile(loops[i].ddg, m);
+        ASSERT_TRUE(r.ok);
+        EXPECT_GE(r.ii, r.mii);
+        EXPECT_EQ(r.ii,
+                  r.mii + static_cast<int>(r.iiIncreases.size()));
+    }
+}
+
+TEST(Pipeline, ReplicationNeverLosesToBaseline)
+{
+    // The replication pipeline explores a superset of the baseline's
+    // options at each II, so its final II must not be larger.
+    const auto loops = buildBenchmark("su2cor");
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    PipelineOptions base;
+    base.replication = false;
+    for (std::size_t i = 0; i < 8 && i < loops.size(); ++i) {
+        const auto with = compile(loops[i].ddg, m);
+        const auto without = compile(loops[i].ddg, m, base);
+        ASSERT_TRUE(with.ok);
+        ASSERT_TRUE(without.ok);
+        EXPECT_LE(with.ii, without.ii) << loops[i].name();
+    }
+}
+
+TEST(Pipeline, BaselineDoesNotReplicate)
+{
+    PaperExample ex;
+    PipelineOptions base;
+    base.replication = false;
+    const auto r = compile(ex.ddg, ex.mach, base);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.repl.replicasAdded, 0);
+    EXPECT_EQ(r.repl.comsRemoved, 0);
+    for (NodeId n : r.finalDdg.nodes())
+        EXPECT_FALSE(r.finalDdg.node(n).isReplica);
+}
+
+TEST(Pipeline, PaperExampleCompilesValidly)
+{
+    // The pipeline partitions the worked-example graph itself (it is
+    // not forced into the paper's hand partition), so only the
+    // structural invariants are asserted here; the exact worked
+    // numbers are covered by paper_example_test with the paper's
+    // partition.
+    PaperExample ex;
+    const auto r = compile(ex.ddg, ex.mach);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GE(r.ii, r.mii);
+    EXPECT_LE(r.comsFinal, busCapacity(ex.mach, r.ii));
+    EXPECT_TRUE(checkSchedule(r.finalDdg, ex.mach, r.partition,
+                              r.schedule)
+                    .empty());
+
+    // And it must not lose to the baseline.
+    PipelineOptions base;
+    base.replication = false;
+    const auto rb = compile(ex.ddg, ex.mach, base);
+    ASSERT_TRUE(rb.ok);
+    EXPECT_LE(r.ii, rb.ii);
+}
+
+TEST(Pipeline, PaperExampleBaselineNeedsLargerIi)
+{
+    PaperExample ex;
+    PipelineOptions base;
+    base.replication = false;
+    const auto r = compile(ex.ddg, ex.mach, base);
+    ASSERT_TRUE(r.ok);
+    // Three comms on a 1-cycle bus need II >= 3 (or a repartition
+    // that trades comms for imbalance; either way > MII is likely).
+    EXPECT_GE(r.ii, 2);
+    if (r.ii > r.mii) {
+        EXPECT_FALSE(r.iiIncreases.empty());
+    }
+}
+
+TEST(Pipeline, CopiesMatchFinalComms)
+{
+    const auto loops = buildBenchmark("hydro2d");
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    for (std::size_t i = 0; i < 6 && i < loops.size(); ++i) {
+        const auto r = compile(loops[i].ddg, m);
+        ASSERT_TRUE(r.ok);
+        int copies = 0;
+        for (NodeId n : r.finalDdg.nodes())
+            copies += (r.finalDdg.node(n).cls == OpClass::Copy);
+        EXPECT_EQ(copies, r.comsFinal) << loops[i].name();
+        // Bus capacity honored at the final II.
+        EXPECT_LE(r.comsFinal, busCapacity(m, r.ii));
+    }
+}
+
+TEST(Pipeline, UsefulOpsCountsOriginalOnly)
+{
+    PaperExample ex;
+    const auto r = compile(ex.ddg, ex.mach);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.usefulOps, 14);
+}
+
+TEST(Pipeline, CyclesFormula)
+{
+    DdgBuilder b;
+    b.op("ld", OpClass::Load);
+    b.op("st", OpClass::Store, {"ld"});
+    const Ddg g = b.take();
+    const auto r = compile(g, MachineConfig::unified());
+    ASSERT_TRUE(r.ok);
+    // Texec = (N - 1 + SC) * II per visit.
+    const double expected =
+        (100.0 - 1 + r.schedule.stageCount) * r.ii * 7.0;
+    EXPECT_DOUBLE_EQ(r.cycles(100.0, 7.0), expected);
+    EXPECT_GT(r.ipc(100.0), 0.0);
+}
+
+TEST(Pipeline, ZeroBusLatencyBoundNotSlower)
+{
+    const auto loops = buildBenchmark("tomcatv");
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    PipelineOptions bound;
+    bound.zeroBusLatency = true;
+    for (std::size_t i = 0; i < 4 && i < loops.size(); ++i) {
+        const auto normal = compile(loops[i].ddg, m);
+        const auto zero = compile(loops[i].ddg, m, bound);
+        ASSERT_TRUE(normal.ok);
+        ASSERT_TRUE(zero.ok);
+        // Same II search, shorter or equal length.
+        if (zero.ii == normal.ii) {
+            EXPECT_LE(zero.schedule.length, normal.schedule.length)
+                << loops[i].name();
+        }
+    }
+}
+
+TEST(Pipeline, Figure1CausesAreTracked)
+{
+    // Across a communication-heavy benchmark on a narrow-bus
+    // machine, bus causes must dominate (Figure 1: 70-90%).
+    const auto loops = buildBenchmark("su2cor");
+    const auto m = MachineConfig::fromString("4c1b2l64r");
+    PipelineOptions base;
+    base.replication = false;
+    int bus = 0, total = 0;
+    for (std::size_t i = 0; i < 12 && i < loops.size(); ++i) {
+        const auto r = compile(loops[i].ddg, m, base);
+        ASSERT_TRUE(r.ok);
+        for (const FailCause c : r.iiIncreases) {
+            total += 1;
+            bus += (c == FailCause::Bus);
+        }
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_GT(static_cast<double>(bus) / total, 0.5);
+}
+
+} // namespace
+} // namespace cvliw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps over all six paper
+ * configurations and many generated loops, asserting the invariants
+ * that must hold for every (loop, machine) pair:
+ *   - compilation succeeds and II >= MII,
+ *   - the schedule passes every structural check,
+ *   - the simulated values equal the reference interpreter's,
+ *   - final communications fit the bus capacity,
+ *   - replication never increases the communication count,
+ *   - replication never ends with a larger II than the baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sched/comms.hh"
+#include "vliw/checker.hh"
+#include "vliw/simulator.hh"
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+struct SweepParam
+{
+    const char *config;
+    const char *benchmark;
+};
+
+std::string
+paramName(const ::testing::TestParamInfo<SweepParam> &info)
+{
+    return std::string(info.param.benchmark) + "_" +
+           info.param.config;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    /** A small deterministic sample of the benchmark's loops. */
+    std::vector<Loop>
+    sample() const
+    {
+        auto loops = buildBenchmark(GetParam().benchmark);
+        std::vector<Loop> out;
+        for (std::size_t i = 0; i < loops.size();
+             i += std::max<std::size_t>(1, loops.size() / 4)) {
+            out.push_back(std::move(loops[i]));
+        }
+        return out;
+    }
+};
+
+TEST_P(ConfigSweep, PipelineInvariants)
+{
+    const auto m = MachineConfig::fromString(GetParam().config);
+    for (const Loop &loop : sample()) {
+        const auto r = compile(loop.ddg, m);
+        ASSERT_TRUE(r.ok) << loop.name();
+        EXPECT_GE(r.ii, r.mii);
+        EXPECT_LE(r.comsFinal, busCapacity(m, r.ii));
+
+        const auto errs =
+            checkSchedule(r.finalDdg, m, r.partition, r.schedule);
+        ASSERT_TRUE(errs.empty())
+            << loop.name() << ": " << errs.front();
+    }
+}
+
+TEST_P(ConfigSweep, SimulationMatchesReference)
+{
+    const auto m = MachineConfig::fromString(GetParam().config);
+    for (const Loop &loop : sample()) {
+        const auto r = compile(loop.ddg, m);
+        ASSERT_TRUE(r.ok) << loop.name();
+        const auto rep = simulate(r.finalDdg, m, r.partition,
+                                  r.schedule, loop.ddg, 4);
+        ASSERT_TRUE(rep.ok)
+            << loop.name() << ": "
+            << (rep.errors.empty() ? "" : rep.errors.front());
+    }
+}
+
+TEST_P(ConfigSweep, ReplicationNeverHurtsIi)
+{
+    const auto m = MachineConfig::fromString(GetParam().config);
+    PipelineOptions base;
+    base.replication = false;
+    for (const Loop &loop : sample()) {
+        const auto rb = compile(loop.ddg, m, base);
+        const auto rr = compile(loop.ddg, m);
+        ASSERT_TRUE(rb.ok && rr.ok) << loop.name();
+        EXPECT_LE(rr.ii, rb.ii) << loop.name();
+        // Baseline never replicates.
+        EXPECT_EQ(rb.repl.replicasAdded, 0);
+    }
+}
+
+TEST_P(ConfigSweep, ReplicationFitsBusCapacity)
+{
+    const auto m = MachineConfig::fromString(GetParam().config);
+    for (const Loop &loop : sample()) {
+        const auto r = compile(loop.ddg, m);
+        ASSERT_TRUE(r.ok) << loop.name();
+        EXPECT_EQ(extraComs(r.comsFinal, m, r.ii), 0) << loop.name();
+        // comsFinal = comsInitial - comsRemoved at the final II.
+        EXPECT_EQ(r.comsFinal,
+                  r.repl.comsInitial - r.repl.comsRemoved)
+            << loop.name();
+    }
+}
+
+constexpr SweepParam sweepParams[] = {
+    {"2c1b2l64r", "tomcatv"}, {"2c1b2l64r", "applu"},
+    {"2c1b2l64r", "mgrid"},   {"2c2b4l64r", "swim"},
+    {"2c2b4l64r", "wave5"},   {"4c1b2l64r", "su2cor"},
+    {"4c1b2l64r", "fpppp"},   {"4c1b2l64r", "mgrid"},
+    {"4c2b2l64r", "hydro2d"}, {"4c2b2l64r", "tomcatv"},
+    {"4c2b4l64r", "su2cor"},  {"4c2b4l64r", "turb3d"},
+    {"4c4b4l64r", "apsi"},    {"4c4b4l64r", "swim"},
+};
+
+INSTANTIATE_TEST_SUITE_P(PaperConfigs, ConfigSweep,
+                         ::testing::ValuesIn(sweepParams), paramName);
+
+// --- seed sweep: generator robustness --------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, GeneratedLoopsCompileEverywhere)
+{
+    const auto profiles = specFp95Profiles();
+    Rng rng(GetParam());
+    // One loop per benchmark profile at this seed.
+    for (const auto &prof : profiles) {
+        const Loop loop = generateLoop(prof, rng, 0);
+        for (const char *cfg : {"2c1b2l64r", "4c2b4l64r"}) {
+            const auto m = MachineConfig::fromString(cfg);
+            const auto r = compile(loop.ddg, m);
+            ASSERT_TRUE(r.ok) << prof.name << " on " << cfg;
+            const auto errs = checkSchedule(r.finalDdg, m,
+                                            r.partition, r.schedule);
+            ASSERT_TRUE(errs.empty())
+                << prof.name << " on " << cfg << ": "
+                << errs.front();
+            const auto rep = simulate(r.finalDdg, m, r.partition,
+                                      r.schedule, loop.ddg, 3);
+            ASSERT_TRUE(rep.ok)
+                << prof.name << " on " << cfg << ": "
+                << (rep.errors.empty() ? "" : rep.errors.front());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 99u, 1234u,
+                                           0xdeadbeefu));
+
+} // namespace
+} // namespace cvliw

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Removable-instruction tests (Figure 5): the paper's worked sets,
+ * propagation stop at communicated values, stores and live-outs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/removable.hh"
+#include "paper_graph.hh"
+#include "sched/comms.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+TEST(Removable, PaperSDNothingRemovable)
+{
+    // D has a child (E) in its own cluster, so nothing is removable
+    // when replicating S_D ("No instruction would be removable if SD
+    // was replicated").
+    PaperExample ex;
+    const auto comms = findCommunications(ex.ddg, ex.part.vec());
+    const auto r = findRemovableInstructions(
+        ex.ddg, ex.part, ex.id("D"), comms.communicated);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Removable, PaperSERemovesEAndD)
+{
+    // E has no same-cluster children -> removable. Its parent D then
+    // has no same-cluster children left -> removable too; but D's
+    // value is communicated, so propagation stops there (A stays:
+    // children B and C remain).
+    PaperExample ex;
+    const auto comms = findCommunications(ex.ddg, ex.part.vec());
+    const auto r = findRemovableInstructions(
+        ex.ddg, ex.part, ex.id("E"), comms.communicated);
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0], ex.id("D"));
+    EXPECT_EQ(r[1], ex.id("E"));
+}
+
+TEST(Removable, PaperSJBlockedByK)
+{
+    // J has same-cluster child K, so J is not removable.
+    PaperExample ex;
+    const auto comms = findCommunications(ex.ddg, ex.part.vec());
+    const auto r = findRemovableInstructions(
+        ex.ddg, ex.part, ex.id("J"), comms.communicated);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Removable, PaperUpdatedSDAfterReplicatingSE)
+{
+    // After S_E is replicated (E removed from cluster 3, D's
+    // consumers in other clusters), replicating S_D makes
+    // {D, B, C, A} removable (section 3.4 / Figure 6).
+    PaperExample ex;
+    // Emulate: E deleted from cluster 2 (ours), its consumers use
+    // replicas elsewhere.
+    ex.ddg.removeNode(ex.id("E"));
+    const auto comms = findCommunications(ex.ddg, ex.part.vec());
+    // D still communicates (F consumes it remotely).
+    ASSERT_TRUE(comms.communicated[ex.id("D")]);
+    const auto r = findRemovableInstructions(
+        ex.ddg, ex.part, ex.id("D"), comms.communicated);
+    std::vector<NodeId> expect{ex.id("A"), ex.id("B"), ex.id("C"),
+                               ex.id("D")};
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(r, expect);
+}
+
+TEST(Removable, StoresNeverRemovable)
+{
+    DdgBuilder b;
+    b.op("p", OpClass::IntAlu);
+    b.op("st", OpClass::Store, {"p"});
+    b.op("w", OpClass::IntAlu, {"p"});
+    Ddg g = b.take();
+    Partition part(2, g.numNodeSlots());
+    part.assign(b.id("p"), 0);
+    part.assign(b.id("st"), 0);
+    part.assign(b.id("w"), 1);
+    const auto comms = findCommunications(g, part.vec());
+    const auto r = findRemovableInstructions(
+        g, part, b.id("p"), comms.communicated);
+    // p feeds a same-cluster store: not removable.
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Removable, LiveOutValuesNotRemovable)
+{
+    DdgBuilder b;
+    b.op("p", OpClass::FpAlu);
+    b.op("w", OpClass::FpAlu, {"p"});
+    b.liveOut("p");
+    Ddg g = b.take();
+    Partition part(2, g.numNodeSlots());
+    part.assign(b.id("p"), 0);
+    part.assign(b.id("w"), 1);
+    const auto comms = findCommunications(g, part.vec());
+    const auto r = findRemovableInstructions(
+        g, part, b.id("p"), comms.communicated);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Removable, ChainPropagation)
+{
+    // a -> b -> c, all in one cluster, c communicated: removing the
+    // comm unwinds the whole chain.
+    DdgBuilder b;
+    b.op("a", OpClass::IntAlu);
+    b.op("b2", OpClass::IntAlu, {"a"});
+    b.op("c", OpClass::IntAlu, {"b2"});
+    b.op("w", OpClass::IntAlu, {"c"});
+    Ddg g = b.take();
+    Partition part(2, g.numNodeSlots());
+    part.assign(b.id("a"), 0);
+    part.assign(b.id("b2"), 0);
+    part.assign(b.id("c"), 0);
+    part.assign(b.id("w"), 1);
+    const auto comms = findCommunications(g, part.vec());
+    const auto r = findRemovableInstructions(
+        g, part, b.id("c"), comms.communicated);
+    EXPECT_EQ(r.size(), 3u);
+}
+
+} // namespace
+} // namespace cvliw
