@@ -4,12 +4,19 @@
  * the modulo scheduler, the replication pass and the end-to-end
  * pipeline on representative generated loops. These are tooling
  * benchmarks (compiler speed), not paper figures.
+ *
+ * scripts/bench.sh runs this binary with --benchmark_format=json and
+ * records the result as BENCH_pipeline.json at the repo root, so the
+ * compile-throughput trajectory is tracked PR over PR.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "core/pipeline.hh"
 #include "core/replicator.hh"
+#include "ddg/analysis.hh"
 #include "partition/multilevel.hh"
 #include "sched/copies.hh"
 #include "sched/mii.hh"
@@ -21,16 +28,41 @@ namespace
 
 using namespace cvliw;
 
+const std::vector<Loop> &
+suite()
+{
+    static const std::vector<Loop> s = buildSuite(42);
+    return s;
+}
+
 const Loop &
 sampleLoop(const char *bench, int idx)
 {
-    static const std::vector<Loop> suite = buildSuite(42);
     int seen = 0;
-    for (const Loop &l : suite) {
+    for (const Loop &l : suite()) {
         if (l.benchmark == bench && seen++ == idx)
             return l;
     }
-    return suite.front();
+    return suite().front();
+}
+
+/** The @p rank-th largest loop of the whole suite (rank 0 = largest). */
+const Loop &
+largestLoop(int rank)
+{
+    static const std::vector<const Loop *> by_size = [] {
+        std::vector<const Loop *> v;
+        v.reserve(suite().size());
+        for (const Loop &l : suite())
+            v.push_back(&l);
+        std::stable_sort(v.begin(), v.end(),
+                         [](const Loop *a, const Loop *b) {
+                             return a->ddg.numNodes() >
+                                    b->ddg.numNodes();
+                         });
+        return v;
+    }();
+    return *by_size[static_cast<std::size_t>(rank) % by_size.size()];
 }
 
 void
@@ -66,6 +98,63 @@ BM_ModuloSchedule(benchmark::State &state)
 }
 BENCHMARK(BM_ModuloSchedule);
 
+/** scheduleAtIi on the largest suite loop: the scheduler hot path. */
+void
+BM_ScheduleAtIiLargest(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(static_cast<int>(state.range(0)));
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    const auto pr = multilevelPartition(loop.ddg, m, mii);
+    Ddg g = loop.ddg;
+    Partition part = pr.partition;
+    reduceCommunications(g, part, m, mii + 6);
+    insertCopies(g, part, m);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleAtIi(g, m, part, mii + 6));
+    }
+    state.SetLabel(std::to_string(g.numNodes()) + " nodes");
+}
+BENCHMARK(BM_ScheduleAtIiLargest)->Arg(0)->Arg(1);
+
+/**
+ * scheduleAtIi with a shared SchedulerCache, as the pipeline drives
+ * it: the SMS order / node times / topo order are generation-cached
+ * across attempts, leaving the placement loop itself.
+ */
+void
+BM_ScheduleAtIiCached(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(static_cast<int>(state.range(0)));
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    const auto pr = multilevelPartition(loop.ddg, m, mii);
+    Ddg g = loop.ddg;
+    Partition part = pr.partition;
+    reduceCommunications(g, part, m, mii + 6);
+    insertCopies(g, part, m);
+    SchedulerCache cache;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            scheduleAtIi(g, m, part, mii + 6, {}, &cache));
+    }
+    state.SetLabel(std::to_string(g.numNodes()) + " nodes");
+}
+BENCHMARK(BM_ScheduleAtIiCached)->Arg(0)->Arg(1);
+
+/** RecMII binary search: dominated by Bellman-Ford edge relaxation. */
+void
+BM_RecurrenceMii(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(static_cast<int>(state.range(0)));
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(recurrenceMii(loop.ddg, m));
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_RecurrenceMii)->Arg(0)->Arg(1);
+
 void
 BM_ReplicationPass(benchmark::State &state)
 {
@@ -94,6 +183,22 @@ BM_EndToEndCompile(benchmark::State &state)
     state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
 }
 BENCHMARK(BM_EndToEndCompile)->Arg(0)->Arg(1);
+
+/**
+ * The headline number: full compile() (partition, replication, copy
+ * insertion, modulo scheduling across II retries) on the largest
+ * loops of the suite. This is what BENCH_pipeline.json tracks.
+ */
+void
+BM_EndToEndCompileLargest(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(static_cast<int>(state.range(0)));
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compile(loop.ddg, m));
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_EndToEndCompileLargest)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void
 BM_SuiteGeneration(benchmark::State &state)

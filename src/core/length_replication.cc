@@ -58,6 +58,7 @@ findCriticalCopy(const Ddg &ddg, const MachineConfig &mach,
             continue;
         const auto preds = ddg.flowPreds(v);
         cv_assert(preds.size() == 1, "copy with fan-in != 1");
+        const NodeId pred = preds.front();
         for (EdgeId eid : ddg.outEdges(v)) {
             const DdgEdge &e = ddg.edge(eid);
             if (e.kind != EdgeKind::RegFlow || e.distance != 0)
@@ -67,7 +68,7 @@ findCriticalCopy(const Ddg &ddg, const MachineConfig &mach,
             const int lat = ddg.edgeLatency(eid, mach);
             if (sched.start[v] + lat != sched.start[e.dst])
                 continue;
-            producer = preds[0];
+            producer = pred;
             cluster = part.clusterOf(e.dst);
             return true;
         }

@@ -72,6 +72,13 @@ compile(const Ddg &original, const MachineConfig &mach,
     SchedulerOptions sched_opts;
     sched_opts.zeroBusLatencyForLength = opts.zeroBusLatency;
 
+    // One memo across every II bump and spill retry: attempts whose
+    // graph carries the same generation stamp (e.g. unified machines,
+    // where no replication or copy insertion ever edits the work
+    // copy) reuse the SMS order, node times and topological order
+    // wholesale.
+    SchedulerCache sched_cache;
+
     int reg_stagnation = 0;
     int best_worst_live = std::numeric_limits<int>::max();
 
@@ -123,7 +130,8 @@ compile(const Ddg &original, const MachineConfig &mach,
 
         insertCopies(work, part, mach);
         ScheduleAttempt attempt =
-            scheduleAtIi(work, mach, part, ii, sched_opts);
+            scheduleAtIi(work, mach, part, ii, sched_opts,
+                         &sched_cache);
 
         // Register pressure that the II cannot cure is fixed with
         // spill code (store after definition, reload at the distant
@@ -136,7 +144,8 @@ compile(const Ddg &original, const MachineConfig &mach,
                spill_budget-- > 0 &&
                spillOneValue(work, part, mach, attempt.sched)) {
             ++spills_done;
-            attempt = scheduleAtIi(work, mach, part, ii, sched_opts);
+            attempt = scheduleAtIi(work, mach, part, ii, sched_opts,
+                                   &sched_cache);
         }
 
         if (!attempt.ok) {

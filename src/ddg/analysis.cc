@@ -10,7 +10,6 @@ namespace cvliw
 std::vector<NodeId>
 topoOrder(const Ddg &ddg)
 {
-    const auto live = ddg.nodes();
     std::vector<int> indeg(ddg.numNodeSlots(), 0);
     for (EdgeId eid : ddg.edges()) {
         const DdgEdge &e = ddg.edge(eid);
@@ -19,13 +18,13 @@ topoOrder(const Ddg &ddg)
     }
 
     std::vector<NodeId> ready;
-    for (NodeId n : live) {
+    for (NodeId n : ddg.nodes()) {
         if (indeg[n] == 0)
             ready.push_back(n);
     }
 
     std::vector<NodeId> order;
-    order.reserve(live.size());
+    order.reserve(ddg.numNodes());
     while (!ready.empty()) {
         NodeId n = ready.back();
         ready.pop_back();
@@ -37,14 +36,20 @@ topoOrder(const Ddg &ddg)
         }
     }
 
-    if (order.size() != live.size())
+    if (static_cast<int>(order.size()) != ddg.numNodes())
         cv_panic("distance-0 subgraph has a cycle (",
-                 order.size(), " of ", live.size(), " nodes ordered)");
+                 order.size(), " of ", ddg.numNodes(),
+                 " nodes ordered)");
     return order;
 }
 
+namespace
+{
+
+/** computeTimes over a precomputed topological order. */
 NodeTimes
-computeTimes(const Ddg &ddg, const MachineConfig &mach)
+computeTimesOrdered(const Ddg &ddg, const MachineConfig &mach,
+                    const std::vector<NodeId> &order)
 {
     NodeTimes t;
     const int slots = ddg.numNodeSlots();
@@ -52,8 +57,6 @@ computeTimes(const Ddg &ddg, const MachineConfig &mach)
     t.alap.assign(slots, 0);
     t.height.assign(slots, 0);
     t.depth.assign(slots, 0);
-
-    const auto order = topoOrder(ddg);
 
     // Forward pass: ASAP and depth.
     for (NodeId n : order) {
@@ -91,101 +94,108 @@ computeTimes(const Ddg &ddg, const MachineConfig &mach)
     return t;
 }
 
-namespace
-{
-
-/** Iterative Tarjan SCC state. */
-struct TarjanState
-{
-    std::vector<int> index, lowlink, comp;
-    std::vector<bool> onStack;
-    std::vector<NodeId> stack;
-    int nextIndex = 0;
-    int nextComp = 0;
-};
-
 } // namespace
+
+NodeTimes
+computeTimes(const Ddg &ddg, const MachineConfig &mach)
+{
+    return computeTimesOrdered(ddg, mach, topoOrder(ddg));
+}
 
 std::vector<int>
 stronglyConnectedComponents(const Ddg &ddg)
 {
     const int slots = ddg.numNodeSlots();
-    TarjanState st;
-    st.index.assign(slots, -1);
-    st.lowlink.assign(slots, -1);
-    st.comp.assign(slots, -1);
-    st.onStack.assign(slots, false);
+    std::vector<int> index(slots, -1), lowlink(slots, -1);
+    std::vector<int> comp(slots, -1);
+    std::vector<bool> on_stack(slots, false);
+    std::vector<NodeId> stack;
+    int next_index = 0;
+    int next_comp = 0;
 
-    // Iterative DFS to avoid deep recursion on long chains.
-    struct Frame { NodeId n; std::vector<NodeId> succs; std::size_t i; };
+    // Iterative DFS to avoid deep recursion on long chains. Each
+    // frame walks the node's live out-edges through the adjacency
+    // view directly - no per-frame successor copies.
+    struct Frame
+    {
+        NodeId n;
+        LiveAdjRange::iterator it, end;
+    };
 
+    std::vector<Frame> dfs;
     for (NodeId root : ddg.nodes()) {
-        if (st.index[root] != -1)
+        if (index[root] != -1)
             continue;
-        std::vector<Frame> dfs;
         auto push = [&](NodeId n) {
-            st.index[n] = st.lowlink[n] = st.nextIndex++;
-            st.stack.push_back(n);
-            st.onStack[n] = true;
-            std::vector<NodeId> succs;
-            for (EdgeId eid : ddg.outEdges(n))
-                succs.push_back(ddg.edge(eid).dst);
-            dfs.push_back({n, std::move(succs), 0});
+            index[n] = lowlink[n] = next_index++;
+            stack.push_back(n);
+            on_stack[n] = true;
+            const LiveAdjRange out = ddg.outEdges(n);
+            dfs.push_back({n, out.begin(), out.end()});
         };
         push(root);
         while (!dfs.empty()) {
             Frame &f = dfs.back();
-            if (f.i < f.succs.size()) {
-                NodeId s = f.succs[f.i++];
-                if (st.index[s] == -1) {
+            if (f.it != f.end) {
+                const NodeId s = ddg.edge(*f.it).dst;
+                ++f.it;
+                if (index[s] == -1) {
                     push(s);
-                } else if (st.onStack[s]) {
-                    st.lowlink[f.n] =
-                        std::min(st.lowlink[f.n], st.index[s]);
+                } else if (on_stack[s]) {
+                    lowlink[f.n] = std::min(lowlink[f.n], index[s]);
                 }
             } else {
-                if (st.lowlink[f.n] == st.index[f.n]) {
+                if (lowlink[f.n] == index[f.n]) {
                     // f.n is an SCC root; pop its component.
                     while (true) {
-                        NodeId w = st.stack.back();
-                        st.stack.pop_back();
-                        st.onStack[w] = false;
-                        st.comp[w] = st.nextComp;
+                        NodeId w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
                         if (w == f.n)
                             break;
                     }
-                    ++st.nextComp;
+                    ++next_comp;
                 }
                 NodeId done = f.n;
                 dfs.pop_back();
                 if (!dfs.empty()) {
-                    st.lowlink[dfs.back().n] =
-                        std::min(st.lowlink[dfs.back().n],
-                                 st.lowlink[done]);
+                    lowlink[dfs.back().n] =
+                        std::min(lowlink[dfs.back().n], lowlink[done]);
                 }
             }
         }
     }
-    return st.comp;
+    return comp;
+}
+
+std::vector<FlatEdge>
+flattenEdges(const Ddg &ddg, const MachineConfig &mach)
+{
+    std::vector<FlatEdge> flat;
+    flat.reserve(ddg.numEdges());
+    for (EdgeId eid : ddg.edges()) {
+        const DdgEdge &e = ddg.edge(eid);
+        flat.push_back({e.src, e.dst, ddg.edgeLatency(eid, mach),
+                        e.distance});
+    }
+    return flat;
 }
 
 bool
-hasPositiveCycle(const Ddg &ddg, const MachineConfig &mach, int ii)
+hasPositiveCycleFlat(const std::vector<FlatEdge> &edges, int num_nodes,
+                     int slots, int ii, std::vector<long long> &dist)
 {
     // Bellman-Ford longest-path relaxation with edge weight
     // latency - II * distance; a relaxation in pass |V| proves a
     // positive-weight cycle, i.e. a recurrence that does not fit II.
-    const auto live = ddg.nodes();
-    const auto live_edges = ddg.edges();
-    std::vector<long long> dist(ddg.numNodeSlots(), 0);
-
-    const std::size_t passes = live.size();
-    for (std::size_t pass = 0; pass <= passes; ++pass) {
+    dist.assign(slots, 0);
+    const int passes = num_nodes;
+    for (int pass = 0; pass <= passes; ++pass) {
         bool relaxed = false;
-        for (EdgeId eid : live_edges) {
-            const DdgEdge &e = ddg.edge(eid);
-            const long long w = ddg.edgeLatency(eid, mach) -
-                                static_cast<long long>(ii) * e.distance;
+        for (const FlatEdge &e : edges) {
+            const long long w =
+                e.latency - static_cast<long long>(ii) * e.distance;
             if (dist[e.src] + w > dist[e.dst]) {
                 dist[e.dst] = dist[e.src] + w;
                 relaxed = true;
@@ -199,23 +209,40 @@ hasPositiveCycle(const Ddg &ddg, const MachineConfig &mach, int ii)
     return false;
 }
 
+bool
+hasPositiveCycle(const Ddg &ddg, const MachineConfig &mach, int ii)
+{
+    const auto edges = flattenEdges(ddg, mach);
+    std::vector<long long> dist;
+    return hasPositiveCycleFlat(edges, ddg.numNodes(),
+                                ddg.numNodeSlots(), ii, dist);
+}
+
 int
 recurrenceMii(const Ddg &ddg, const MachineConfig &mach)
 {
+    // Flatten once: the binary search probes many IIs over the same
+    // edge weights.
+    const auto edges = flattenEdges(ddg, mach);
+    const int num_nodes = ddg.numNodes();
+    const int slots = ddg.numNodeSlots();
+    std::vector<long long> dist;
+
     // Upper bound: the total latency of all edges bounds any single
     // cycle's latency sum; a cycle has distance sum >= 1.
     long long hi = 1;
-    for (EdgeId eid : ddg.edges())
-        hi += ddg.edgeLatency(eid, mach);
+    for (const FlatEdge &e : edges)
+        hi += e.latency;
 
-    if (!hasPositiveCycle(ddg, mach, 1))
+    if (!hasPositiveCycleFlat(edges, num_nodes, slots, 1, dist))
         return 1;
 
     // Smallest II in (1, hi] with no positive cycle; monotone in II.
     long long lo = 1; // has positive cycle
     while (lo + 1 < hi) {
         long long mid = lo + (hi - lo) / 2;
-        if (hasPositiveCycle(ddg, mach, static_cast<int>(mid)))
+        if (hasPositiveCycleFlat(edges, num_nodes, slots,
+                                 static_cast<int>(mid), dist))
             lo = mid;
         else
             hi = mid;
@@ -245,6 +272,36 @@ nodesOnRecurrences(const Ddg &ddg)
         }
     }
     return on;
+}
+
+const std::vector<NodeId> &
+AnalysisCache::topo(const Ddg &ddg)
+{
+    if (topoGen_ != ddg.generation()) {
+        topo_ = topoOrder(ddg);
+        topoGen_ = ddg.generation();
+    }
+    return topo_;
+}
+
+const NodeTimes &
+AnalysisCache::times(const Ddg &ddg, const MachineConfig &mach)
+{
+    if (timesGen_ != ddg.generation()) {
+        times_ = computeTimesOrdered(ddg, mach, topo(ddg));
+        timesGen_ = ddg.generation();
+    }
+    return times_;
+}
+
+const std::vector<int> &
+AnalysisCache::scc(const Ddg &ddg)
+{
+    if (sccGen_ != ddg.generation()) {
+        scc_ = stronglyConnectedComponents(ddg);
+        sccGen_ = ddg.generation();
+    }
+    return scc_;
 }
 
 } // namespace cvliw

@@ -5,11 +5,20 @@
  * per-node height/depth (used by the SMS ordering and the partitioner
  * edge weighting), Tarjan SCCs and positive-cycle detection (used by
  * RecMII).
+ *
+ * `AnalysisCache` memoizes the pure analyses keyed on the graph's
+ * generation stamp (see Ddg::generation()): the pipeline retries
+ * partition -> replicate -> schedule at every II, and most retries
+ * re-analyse a graph that has not changed since the last attempt.
+ * One cache instance serves one (graph lineage, machine config) pair;
+ * results computed for a different machine config must not share a
+ * cache.
  */
 
 #ifndef CVLIW_DDG_ANALYSIS_HH
 #define CVLIW_DDG_ANALYSIS_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "ddg/ddg.hh"
@@ -71,6 +80,68 @@ int recurrenceMii(const Ddg &ddg, const MachineConfig &mach);
  * weighting.
  */
 std::vector<bool> nodesOnRecurrences(const Ddg &ddg);
+
+/**
+ * Generation-keyed memo for the pure DDG analyses. Each accessor
+ * recomputes only when the graph's generation stamp differs from the
+ * one the cached result was computed at, so repeated calls on an
+ * unchanged graph (the scheduler's placement loop, II retries without
+ * structural edits) cost a single integer compare.
+ *
+ * The cache is single-slot per analysis: a mutation invalidates
+ * everything computed before it. It is intentionally not thread-safe;
+ * use one instance per worker (the suite runner compiles each loop on
+ * one thread).
+ */
+class AnalysisCache
+{
+  public:
+    /** Cached topoOrder(ddg). */
+    const std::vector<NodeId> &topo(const Ddg &ddg);
+
+    /** Cached computeTimes(ddg, mach). */
+    const NodeTimes &times(const Ddg &ddg, const MachineConfig &mach);
+
+    /** Cached stronglyConnectedComponents(ddg). */
+    const std::vector<int> &scc(const Ddg &ddg);
+
+  private:
+    // Generation stamps start at 1, so 0 means "never computed".
+    std::uint64_t topoGen_ = 0;
+    std::uint64_t timesGen_ = 0;
+    std::uint64_t sccGen_ = 0;
+    std::vector<NodeId> topo_;
+    NodeTimes times_;
+    std::vector<int> scc_;
+};
+
+/**
+ * Flat relaxation-ready copy of the live edges: everything the
+ * Bellman-Ford recurrence probe needs, gathered once so the O(V*E)
+ * relaxation never touches the graph (edgeLatency() per edge per pass
+ * is the difference between RecMII being cheap and dominating the
+ * compile).
+ */
+struct FlatEdge
+{
+    NodeId src;
+    NodeId dst;
+    int latency;
+    int distance;
+};
+
+/** Gather the live edges of @p ddg with latencies resolved. */
+std::vector<FlatEdge> flattenEdges(const Ddg &ddg,
+                                   const MachineConfig &mach);
+
+/**
+ * hasPositiveCycle over a pre-flattened edge list. @p dist is scratch
+ * storage of at least @p slots entries, reused across calls (the
+ * RecMII binary search probes many IIs over the same edges).
+ */
+bool hasPositiveCycleFlat(const std::vector<FlatEdge> &edges,
+                          int num_nodes, int slots, int ii,
+                          std::vector<long long> &dist);
 
 } // namespace cvliw
 

@@ -1,9 +1,21 @@
 #include "ddg/ddg.hh"
 
+#include <atomic>
+
 #include "support/logging.hh"
 
 namespace cvliw
 {
+
+std::uint64_t
+Ddg::freshGeneration()
+{
+    // Process-unique stamps: runSuite compiles loops from several
+    // threads, so the counter must be atomic. Relaxed is enough - the
+    // stamp only needs uniqueness, not ordering.
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 NodeId
 Ddg::addNode(OpClass cls, std::string label)
@@ -16,6 +28,7 @@ Ddg::addNode(OpClass cls, std::string label)
     n.semanticId = n.id;
     nodes_.push_back(std::move(n));
     ++liveNodes_;
+    bumpGeneration();
     return nodes_.back().id;
 }
 
@@ -54,6 +67,7 @@ Ddg::addEdge(NodeId src, NodeId dst, EdgeKind kind, int distance,
     nodes_[src].out.push_back(e.id);
     nodes_[dst].in.push_back(e.id);
     ++liveEdges_;
+    bumpGeneration();
     return e.id;
 }
 
@@ -75,6 +89,7 @@ Ddg::removeNode(NodeId id)
     }
     nodes_[id].alive = false;
     --liveNodes_;
+    bumpGeneration();
 }
 
 void
@@ -83,30 +98,7 @@ Ddg::removeEdge(EdgeId id)
     checkEdge(id);
     edges_[id].alive = false;
     --liveEdges_;
-}
-
-std::vector<NodeId>
-Ddg::nodes() const
-{
-    std::vector<NodeId> out;
-    out.reserve(liveNodes_);
-    for (const auto &n : nodes_) {
-        if (n.alive)
-            out.push_back(n.id);
-    }
-    return out;
-}
-
-std::vector<EdgeId>
-Ddg::edges() const
-{
-    std::vector<EdgeId> out;
-    out.reserve(liveEdges_);
-    for (const auto &e : edges_) {
-        if (e.alive)
-            out.push_back(e.id);
-    }
-    return out;
+    bumpGeneration();
 }
 
 const DdgNode &
@@ -137,50 +129,32 @@ Ddg::edge(EdgeId id)
     return edges_[id];
 }
 
-std::vector<EdgeId>
+LiveAdjRange
 Ddg::inEdges(NodeId id) const
 {
     checkNode(id);
-    std::vector<EdgeId> out;
-    for (EdgeId eid : nodes_[id].in) {
-        if (edges_[eid].alive)
-            out.push_back(eid);
-    }
-    return out;
+    return LiveAdjRange(nodes_[id].in, edges_);
 }
 
-std::vector<EdgeId>
+LiveAdjRange
 Ddg::outEdges(NodeId id) const
 {
     checkNode(id);
-    std::vector<EdgeId> out;
-    for (EdgeId eid : nodes_[id].out) {
-        if (edges_[eid].alive)
-            out.push_back(eid);
-    }
-    return out;
+    return LiveAdjRange(nodes_[id].out, edges_);
 }
 
-std::vector<NodeId>
+FlowNeighborRange
 Ddg::flowPreds(NodeId id) const
 {
-    std::vector<NodeId> out;
-    for (EdgeId eid : inEdges(id)) {
-        if (edges_[eid].kind == EdgeKind::RegFlow)
-            out.push_back(edges_[eid].src);
-    }
-    return out;
+    checkNode(id);
+    return FlowNeighborRange(nodes_[id].in, edges_, true);
 }
 
-std::vector<NodeId>
+FlowNeighborRange
 Ddg::flowSuccs(NodeId id) const
 {
-    std::vector<NodeId> out;
-    for (EdgeId eid : outEdges(id)) {
-        if (edges_[eid].kind == EdgeKind::RegFlow)
-            out.push_back(edges_[eid].dst);
-    }
-    return out;
+    checkNode(id);
+    return FlowNeighborRange(nodes_[id].out, edges_, false);
 }
 
 int

@@ -12,11 +12,45 @@
  * The graph is mutable because both the scheduler (copy insertion)
  * and the replication algorithm (replicas, dead-code removal) edit it;
  * removal uses tombstones so node ids stay stable.
+ *
+ * ## Traversal views
+ *
+ * The traversal accessors (`nodes()`, `edges()`, `inEdges()`,
+ * `outEdges()`, `flowPreds()`, `flowSuccs()`) return lightweight,
+ * zero-allocation ranges that skip tombstones in place. They are the
+ * hot path of the whole pipeline: the scheduler, the partitioner and
+ * the analyses traverse the graph millions of times per compile, so
+ * none of them may allocate.
+ *
+ * View validity: a view holds pointers to the graph's internal
+ * containers, so it stays valid across tombstoning mutations
+ * (`removeNode` / `removeEdge`) and across `addEdge` for *other*
+ * adjacency lists, but adding a node may reallocate node storage and
+ * invalidates any adjacency view (`inEdges`/`outEdges`/`flowPreds`/
+ * `flowSuccs`) obtained earlier. Obtain the view after the last
+ * `addNode`, or collect it with `toVector()` when nodes are created
+ * while iterating.
+ *
+ * ## Generation counter
+ *
+ * `generation()` returns a stamp that changes on every structural
+ * mutation (`addNode` / `addReplica` / `addEdge` / `removeNode` /
+ * `removeEdge`). Stamps are process-unique: two `Ddg` objects carry
+ * the same stamp only when one is an unmodified copy of the other,
+ * so analysis caches (see `AnalysisCache` in ddg/analysis.hh) can key
+ * cached results on the stamp alone and stay correct across the
+ * pipeline's copy-mutate-retry loop. Field writes through the
+ * non-const `node()` / `edge()` accessors do NOT advance the stamp;
+ * callers that change analysis-relevant fields that way (op class,
+ * edge distance or latency) must call `bumpGeneration()` themselves.
+ * Flag-only writes (`liveOut`, `isSpill`, labels) need no bump.
  */
 
 #ifndef CVLIW_DDG_DDG_HH
 #define CVLIW_DDG_DDG_HH
 
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -85,6 +119,267 @@ struct DdgNode
 };
 
 /**
+ * Forward range over the live ids of a dense tombstoned entity array
+ * (nodes_ or edges_). Allocation-free: iteration skips dead slots in
+ * place.
+ */
+template <typename Entity, typename Id>
+class LiveIdRange
+{
+  public:
+    class iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Id;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const Id *;
+        using reference = Id;
+
+        iterator() = default;
+        iterator(const std::vector<Entity> &arr, std::size_t i)
+            : arr_(&arr), i_(i)
+        {
+            skipDead();
+        }
+
+        Id operator*() const { return static_cast<Id>(i_); }
+        iterator &operator++()
+        {
+            ++i_;
+            skipDead();
+            return *this;
+        }
+        iterator operator++(int)
+        {
+            iterator t = *this;
+            ++*this;
+            return t;
+        }
+        bool operator==(const iterator &o) const { return i_ == o.i_; }
+        bool operator!=(const iterator &o) const { return i_ != o.i_; }
+
+      private:
+        void skipDead()
+        {
+            while (i_ < arr_->size() && !(*arr_)[i_].alive)
+                ++i_;
+        }
+
+        const std::vector<Entity> *arr_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    explicit LiveIdRange(const std::vector<Entity> &arr) : arr_(&arr) {}
+
+    iterator begin() const { return iterator(*arr_, 0); }
+    iterator end() const { return iterator(*arr_, arr_->size()); }
+    bool empty() const { return begin() == end(); }
+
+    /** Materialize (for callers that need ownership, e.g. tests). */
+    std::vector<Id> toVector() const
+    {
+        return std::vector<Id>(begin(), end());
+    }
+
+  private:
+    const std::vector<Entity> *arr_;
+};
+
+using LiveNodeRange = LiveIdRange<DdgNode, NodeId>;
+using LiveEdgeRange = LiveIdRange<DdgEdge, EdgeId>;
+
+/**
+ * Forward range over the live edge ids of one node's adjacency list
+ * (`DdgNode::in` or `DdgNode::out`), skipping tombstoned edges in
+ * place without allocating.
+ */
+class LiveAdjRange
+{
+  public:
+    class iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = EdgeId;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const EdgeId *;
+        using reference = EdgeId;
+
+        iterator() = default;
+        iterator(const std::vector<EdgeId> &list,
+                 const std::vector<DdgEdge> &edges, std::size_t i)
+            : list_(&list), edges_(&edges), i_(i)
+        {
+            skipDead();
+        }
+
+        EdgeId operator*() const { return (*list_)[i_]; }
+        iterator &operator++()
+        {
+            ++i_;
+            skipDead();
+            return *this;
+        }
+        iterator operator++(int)
+        {
+            iterator t = *this;
+            ++*this;
+            return t;
+        }
+        bool operator==(const iterator &o) const { return i_ == o.i_; }
+        bool operator!=(const iterator &o) const { return i_ != o.i_; }
+
+      private:
+        void skipDead()
+        {
+            while (i_ < list_->size() &&
+                   !(*edges_)[(*list_)[i_]].alive) {
+                ++i_;
+            }
+        }
+
+        const std::vector<EdgeId> *list_ = nullptr;
+        const std::vector<DdgEdge> *edges_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    LiveAdjRange(const std::vector<EdgeId> &list,
+                 const std::vector<DdgEdge> &edges)
+        : list_(&list), edges_(&edges)
+    {
+    }
+
+    iterator begin() const { return iterator(*list_, *edges_, 0); }
+    iterator end() const
+    {
+        return iterator(*list_, *edges_, list_->size());
+    }
+    bool empty() const { return begin() == end(); }
+
+    /** Number of live edges; O(list length). */
+    std::size_t size() const
+    {
+        std::size_t n = 0;
+        for (auto it = begin(); it != end(); ++it)
+            ++n;
+        return n;
+    }
+
+    std::vector<EdgeId> toVector() const
+    {
+        return std::vector<EdgeId>(begin(), end());
+    }
+
+  private:
+    const std::vector<EdgeId> *list_;
+    const std::vector<DdgEdge> *edges_;
+};
+
+/**
+ * Forward range over the register-flow neighbours of one node: the
+ * producers feeding it (`src` side of its in-list) or the consumers
+ * reading it (`dst` side of its out-list). Skips tombstoned and
+ * non-RegFlow edges in place.
+ */
+class FlowNeighborRange
+{
+  public:
+    class iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = NodeId;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const NodeId *;
+        using reference = NodeId;
+
+        iterator() = default;
+        iterator(const std::vector<EdgeId> &list,
+                 const std::vector<DdgEdge> &edges, std::size_t i,
+                 bool src_side)
+            : list_(&list), edges_(&edges), i_(i), srcSide_(src_side)
+        {
+            skip();
+        }
+
+        NodeId operator*() const
+        {
+            const DdgEdge &e = (*edges_)[(*list_)[i_]];
+            return srcSide_ ? e.src : e.dst;
+        }
+        iterator &operator++()
+        {
+            ++i_;
+            skip();
+            return *this;
+        }
+        iterator operator++(int)
+        {
+            iterator t = *this;
+            ++*this;
+            return t;
+        }
+        bool operator==(const iterator &o) const { return i_ == o.i_; }
+        bool operator!=(const iterator &o) const { return i_ != o.i_; }
+
+      private:
+        void skip()
+        {
+            while (i_ < list_->size()) {
+                const DdgEdge &e = (*edges_)[(*list_)[i_]];
+                if (e.alive && e.kind == EdgeKind::RegFlow)
+                    break;
+                ++i_;
+            }
+        }
+
+        const std::vector<EdgeId> *list_ = nullptr;
+        const std::vector<DdgEdge> *edges_ = nullptr;
+        std::size_t i_ = 0;
+        bool srcSide_ = false;
+    };
+
+    FlowNeighborRange(const std::vector<EdgeId> &list,
+                      const std::vector<DdgEdge> &edges, bool src_side)
+        : list_(&list), edges_(&edges), srcSide_(src_side)
+    {
+    }
+
+    iterator begin() const
+    {
+        return iterator(*list_, *edges_, 0, srcSide_);
+    }
+    iterator end() const
+    {
+        return iterator(*list_, *edges_, list_->size(), srcSide_);
+    }
+    bool empty() const { return begin() == end(); }
+
+    /** Number of live flow neighbours; O(list length). */
+    std::size_t size() const
+    {
+        std::size_t n = 0;
+        for (auto it = begin(); it != end(); ++it)
+            ++n;
+        return n;
+    }
+
+    /** First neighbour; the range must be non-empty. */
+    NodeId front() const { return *begin(); }
+
+    std::vector<NodeId> toVector() const
+    {
+        return std::vector<NodeId>(begin(), end());
+    }
+
+  private:
+    const std::vector<EdgeId> *list_;
+    const std::vector<DdgEdge> *edges_;
+    bool srcSide_;
+};
+
+/**
  * A mutable data dependence graph. Node/edge ids are dense indices
  * into internal arrays; removed entities remain as tombstones.
  */
@@ -129,28 +424,31 @@ class Ddg
     /** Number of live edges. */
     int numEdges() const { return liveEdges_; }
 
-    /** Materialized list of live node ids, in id order. */
-    std::vector<NodeId> nodes() const;
+    /** Live node ids in id order (zero-allocation view). */
+    LiveNodeRange nodes() const { return LiveNodeRange(nodes_); }
 
-    /** Materialized list of live edge ids, in id order. */
-    std::vector<EdgeId> edges() const;
+    /** Live edge ids in id order (zero-allocation view). */
+    LiveEdgeRange edges() const { return LiveEdgeRange(edges_); }
 
     const DdgNode &node(NodeId id) const;
     DdgNode &node(NodeId id);
     const DdgEdge &edge(EdgeId id) const;
     DdgEdge &edge(EdgeId id);
 
-    /** Live incoming edges of @p id. */
-    std::vector<EdgeId> inEdges(NodeId id) const;
+    /** Live incoming edges of @p id (zero-allocation view). */
+    LiveAdjRange inEdges(NodeId id) const;
 
-    /** Live outgoing edges of @p id. */
-    std::vector<EdgeId> outEdges(NodeId id) const;
+    /** Live outgoing edges of @p id (zero-allocation view). */
+    LiveAdjRange outEdges(NodeId id) const;
 
-    /** Live register-flow producers of @p id (dedup not applied). */
-    std::vector<NodeId> flowPreds(NodeId id) const;
+    /**
+     * Live register-flow producers of @p id (dedup not applied;
+     * zero-allocation view).
+     */
+    FlowNeighborRange flowPreds(NodeId id) const;
 
-    /** Live register-flow consumers of @p id. */
-    std::vector<NodeId> flowSuccs(NodeId id) const;
+    /** Live register-flow consumers of @p id (zero-allocation view). */
+    FlowNeighborRange flowSuccs(NodeId id) const;
 
     /**
      * Latency contributed by @p edge: the producer's latency for
@@ -162,7 +460,22 @@ class Ddg
     /** True when any live node is a Copy op. */
     bool hasCopies() const;
 
+    /**
+     * Structural-mutation stamp; see the header comment. Unchanged
+     * stamp across two observations of (possibly different) Ddg
+     * objects guarantees identical graph structure.
+     */
+    std::uint64_t generation() const { return generation_; }
+
+    /**
+     * Force a new generation stamp. Call after editing analysis-
+     * relevant fields through the non-const node()/edge() accessors.
+     */
+    void bumpGeneration() { generation_ = freshGeneration(); }
+
   private:
+    static std::uint64_t freshGeneration();
+
     void checkNode(NodeId id) const;
     void checkEdge(EdgeId id) const;
 
@@ -170,6 +483,7 @@ class Ddg
     std::vector<DdgEdge> edges_;
     int liveNodes_ = 0;
     int liveEdges_ = 0;
+    std::uint64_t generation_ = freshGeneration();
 };
 
 } // namespace cvliw

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <thread>
+#include <unordered_set>
 
 #include "support/logging.hh"
 
@@ -49,13 +50,32 @@ runSuite(const std::vector<Loop> &suite, const MachineConfig &mach,
     return result;
 }
 
-std::map<std::string, BenchmarkAggregate>
+const BenchmarkAggregate &
+BenchmarkAggregates::at(const std::string &name) const
+{
+    auto it = index_.find(name);
+    cv_assert(it != index_.end(), "no aggregate for benchmark ", name);
+    return items_[it->second].second;
+}
+
+BenchmarkAggregate &
+BenchmarkAggregates::operator[](const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it == index_.end()) {
+        it = index_.emplace(name, items_.size()).first;
+        items_.emplace_back(name, BenchmarkAggregate{});
+    }
+    return items_[it->second].second;
+}
+
+BenchmarkAggregates
 aggregateByBenchmark(const std::vector<Loop> &suite,
                      const SuiteResult &results)
 {
     cv_assert(suite.size() == results.loops.size(),
               "suite/results size mismatch");
-    std::map<std::string, BenchmarkAggregate> by_bench;
+    BenchmarkAggregates by_bench;
     for (std::size_t i = 0; i < suite.size(); ++i) {
         if (!results.loops[i].ok)
             continue;
@@ -71,16 +91,14 @@ benchmarkIpcs(const std::vector<Loop> &suite, const SuiteResult &results)
 {
     const auto by_bench = aggregateByBenchmark(suite, results);
 
-    // Preserve the paper's benchmark order.
+    // Preserve the paper's benchmark order (first appearance in the
+    // suite, including benchmarks whose first loops failed).
     std::vector<std::pair<std::string, double>> out;
-    std::vector<std::string> seen;
+    out.reserve(by_bench.size());
+    std::unordered_set<std::string> seen;
     for (const Loop &loop : suite) {
-        bool found = false;
-        for (const auto &s : seen)
-            found |= (s == loop.benchmark);
-        if (found)
+        if (!seen.insert(loop.benchmark).second)
             continue;
-        seen.push_back(loop.benchmark);
         auto it = by_bench.find(loop.benchmark);
         if (it != by_bench.end())
             out.emplace_back(loop.benchmark, it->second.ipc());

@@ -8,7 +8,11 @@
 #ifndef CVLIW_EVAL_RUNNER_HH
 #define CVLIW_EVAL_RUNNER_HH
 
-#include <map>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "eval/metrics.hh"
 #include "workloads/suite.hh"
@@ -23,6 +27,41 @@ struct SuiteResult
 };
 
 /**
+ * Per-benchmark aggregates with deterministic iteration order: the
+ * order benchmarks first appear in the suite (the paper's order),
+ * independent of the names. Lookup by name is O(1) via a side index.
+ */
+class BenchmarkAggregates
+{
+  public:
+    using value_type = std::pair<std::string, BenchmarkAggregate>;
+    using const_iterator = std::vector<value_type>::const_iterator;
+
+    const_iterator begin() const { return items_.begin(); }
+    const_iterator end() const { return items_.end(); }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+
+    /** Iterator to the named entry, or end(). */
+    const_iterator find(const std::string &name) const
+    {
+        auto it = index_.find(name);
+        return it == index_.end() ? items_.end()
+                                  : items_.begin() + it->second;
+    }
+
+    /** Named entry; the benchmark must exist. */
+    const BenchmarkAggregate &at(const std::string &name) const;
+
+    /** Named entry, appended in insertion order when absent. */
+    BenchmarkAggregate &operator[](const std::string &name);
+
+  private:
+    std::vector<value_type> items_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
  * Compile every loop of @p suite for @p mach with @p opts.
  * @param threads worker threads (0 = hardware concurrency)
  */
@@ -31,7 +70,7 @@ SuiteResult runSuite(const std::vector<Loop> &suite,
                      const PipelineOptions &opts = {}, int threads = 0);
 
 /** Aggregate @p results per benchmark (keyed by benchmark name). */
-std::map<std::string, BenchmarkAggregate>
+BenchmarkAggregates
 aggregateByBenchmark(const std::vector<Loop> &suite,
                      const SuiteResult &results);
 

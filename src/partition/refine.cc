@@ -15,7 +15,10 @@ refinePartition(const Ddg &ddg, const MachineConfig &mach,
 
     Partition part = initial;
     std::vector<int> assign = part.vec();
-    PseudoResult best = pseudoSchedule(ddg, mach, assign, ii);
+    // The topological order is assignment-independent: share one
+    // memo across every candidate evaluation.
+    AnalysisCache cache;
+    PseudoResult best = pseudoSchedule(ddg, mach, assign, ii, &cache);
 
     const auto live = ddg.nodes();
     for (int pass = 0; pass < max_passes; ++pass) {
@@ -29,7 +32,8 @@ refinePartition(const Ddg &ddg, const MachineConfig &mach,
                 if (c == home || c == best_cluster)
                     continue;
                 assign[n] = c;
-                PseudoResult r = pseudoSchedule(ddg, mach, assign, ii);
+                PseudoResult r =
+                    pseudoSchedule(ddg, mach, assign, ii, &cache);
                 if (r.better(best)) {
                     best = r;
                     best_cluster = c;

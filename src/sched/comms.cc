@@ -13,6 +13,7 @@ findCommunications(const Ddg &ddg, const std::vector<int> &cluster_of)
     CommInfo info;
     info.communicated.assign(ddg.numNodeSlots(), false);
 
+    std::vector<int> remote; // reused across nodes; hot path
     for (NodeId n : ddg.nodes()) {
         const DdgNode &node = ddg.node(n);
         if (node.cls == OpClass::Copy || !producesValue(node.cls))
@@ -21,7 +22,7 @@ findCommunications(const Ddg &ddg, const std::vector<int> &cluster_of)
                   cluster_of[n] >= 0,
                   "node ", node.label, " has no cluster");
 
-        std::vector<int> remote;
+        remote.clear();
         for (NodeId succ : ddg.flowSuccs(n)) {
             // A consumer that is a copy of this very value does not
             // count; copies are inserted after this analysis runs.

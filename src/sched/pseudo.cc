@@ -22,9 +22,12 @@ PseudoResult::better(const PseudoResult &o) const
 
 std::vector<int>
 estimateRegisterWidth(const Ddg &ddg, const MachineConfig &mach,
-                      const std::vector<int> &cluster_of)
+                      const std::vector<int> &cluster_of,
+                      AnalysisCache *cache)
 {
-    const auto order = topoOrder(ddg);
+    AnalysisCache local;
+    AnalysisCache &memo = cache ? *cache : local;
+    const auto &order = memo.topo(ddg);
 
     // ASAP times over distance-0 edges (cut edges pay the bus).
     std::vector<int> asap(ddg.numNodeSlots(), 0);
@@ -99,8 +102,11 @@ estimateRegisterWidth(const Ddg &ddg, const MachineConfig &mach,
 
 PseudoResult
 pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
-               const std::vector<int> &cluster_of, int ii)
+               const std::vector<int> &cluster_of, int ii,
+               AnalysisCache *cache)
 {
+    AnalysisCache local;
+    AnalysisCache &memo = cache ? *cache : local;
     PseudoResult r;
 
     // --- Resource pressure per (kind, cluster). -----------------------
@@ -150,7 +156,7 @@ pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
     r.iiPart = std::max(ii_res, ii_bus);
 
     // --- Estimated length: ASAP where cut flow edges pay the bus. -----
-    const auto order = topoOrder(ddg);
+    const auto &order = memo.topo(ddg);
     std::vector<int> est(ddg.numNodeSlots(), 0);
     for (NodeId n : order) {
         for (EdgeId eid : ddg.inEdges(n)) {
@@ -171,7 +177,8 @@ pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
     }
 
     // --- Register width. ------------------------------------------------
-    const auto widths = estimateRegisterWidth(ddg, mach, cluster_of);
+    const auto widths =
+        estimateRegisterWidth(ddg, mach, cluster_of, &memo);
     for (int c = 0; c < clusters; ++c) {
         r.regOverflow +=
             std::max(0, widths[c] - mach.regsPerCluster());

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "ddg/analysis.hh"
 #include "ddg/ddg.hh"
 
 namespace cvliw
@@ -50,7 +51,8 @@ struct PseudoResult
 std::vector<int> estimateRegisterWidth(const Ddg &ddg,
                                        const MachineConfig &mach,
                                        const std::vector<int> &
-                                           cluster_of);
+                                           cluster_of,
+                                       AnalysisCache *cache = nullptr);
 
 /**
  * Evaluate @p cluster_of at initiation interval @p ii.
@@ -58,9 +60,13 @@ std::vector<int> estimateRegisterWidth(const Ddg &ddg,
  * @param mach target machine
  * @param cluster_of cluster per NodeId
  * @param ii probed initiation interval
+ * @param cache optional memo for the topological order, which does
+ *        not depend on the candidate assignment - refinement probes
+ *        hundreds of assignments against one graph
  */
 PseudoResult pseudoSchedule(const Ddg &ddg, const MachineConfig &mach,
-                            const std::vector<int> &cluster_of, int ii);
+                            const std::vector<int> &cluster_of, int ii,
+                            AnalysisCache *cache = nullptr);
 
 } // namespace cvliw
 

@@ -25,6 +25,16 @@ toString(FailCause cause)
     }
 }
 
+const std::vector<NodeId> &
+SchedulerCache::order(const Ddg &ddg, const MachineConfig &mach)
+{
+    if (orderGen_ != ddg.generation()) {
+        order_ = smsOrder(ddg, mach, analyses);
+        orderGen_ = ddg.generation();
+    }
+    return order_;
+}
+
 namespace
 {
 
@@ -35,26 +45,36 @@ constexpr int intMax = std::numeric_limits<int>::max();
 
 ScheduleAttempt
 scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
-             const Partition &part, int ii, const SchedulerOptions &opts)
+             const Partition &part, int ii, const SchedulerOptions &opts,
+             SchedulerCache *cache)
 {
     ScheduleAttempt attempt;
     attempt.sched.ii = ii;
     attempt.sched.start.assign(ddg.numNodeSlots(), -1);
     attempt.sched.busOf.assign(ddg.numNodeSlots(), -1);
 
-    const NodeTimes times = computeTimes(ddg, mach);
-    const auto order = smsOrder(ddg, mach);
+    SchedulerCache local_cache;
+    SchedulerCache &memo = cache ? *cache : local_cache;
+
+    const NodeTimes &times = memo.analyses.times(ddg, mach);
+    const auto &order = memo.order(ddg, mach);
     ReservationTables tables(mach, ii);
 
-    auto eff_lat = [&](EdgeId eid) {
+    // Effective per-edge latency, resolved once: the placement loop
+    // and the sink pass read it once per (node, incident edge) visit,
+    // and the zero-bus-latency variant's branch must not be paid
+    // there.
+    std::vector<int> eff_lat(ddg.numEdgeSlots(), 0);
+    for (EdgeId eid : ddg.edges()) {
         const DdgEdge &e = ddg.edge(eid);
         if (opts.zeroBusLatencyForLength &&
             e.kind == EdgeKind::RegFlow &&
             ddg.node(e.src).cls == OpClass::Copy) {
-            return 0;
+            eff_lat[eid] = 0;
+        } else {
+            eff_lat[eid] = ddg.edgeLatency(eid, mach);
         }
-        return ddg.edgeLatency(eid, mach);
-    };
+    }
 
     std::vector<bool> placed(ddg.numNodeSlots(), false);
     std::vector<int> &start = attempt.sched.start;
@@ -74,7 +94,7 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
                 continue;
             has_pred = true;
             early = std::max(early,
-                             start[e.src] + eff_lat(eid) -
+                             start[e.src] + eff_lat[eid] -
                                  ii * e.distance);
         }
         for (EdgeId eid : ddg.outEdges(v)) {
@@ -82,7 +102,7 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
             if (!placed[e.dst])
                 continue;
             has_succ = true;
-            late = std::min(late, start[e.dst] - eff_lat(eid) +
+            late = std::min(late, start[e.dst] - eff_lat[eid] +
                                       ii * e.distance);
         }
 
@@ -157,7 +177,7 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
     const std::vector<int> presink_start = start;
     const std::vector<int> presink_bus = attempt.sched.busOf;
     {
-        const auto fwd = topoOrder(ddg);
+        const auto &fwd = memo.analyses.topo(ddg);
         for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
             const NodeId v = *it;
             const auto out = ddg.outEdges(v);
@@ -170,7 +190,7 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
                                 static_cast<long long>(start[e.dst]) +
                                     static_cast<long long>(ii) *
                                         e.distance -
-                                    eff_lat(eid));
+                                    eff_lat[eid]);
             }
             if (late <= start[v])
                 continue;

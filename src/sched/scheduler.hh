@@ -11,9 +11,11 @@
 #ifndef CVLIW_SCHED_SCHEDULER_HH
 #define CVLIW_SCHED_SCHEDULER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ddg/analysis.hh"
 #include "ddg/ddg.hh"
 #include "partition/partition.hh"
 
@@ -67,12 +69,37 @@ struct SchedulerOptions
 };
 
 /**
+ * Generation-keyed memo shared across scheduling attempts. The
+ * pipeline retries scheduleAtIi at every II bump and after every
+ * spill, and the SMS order / node times / topological order only
+ * depend on the graph (never on the II) - so attempts on an
+ * unchanged graph reuse them wholesale, and even a single attempt
+ * reuses the times and SCCs between the ordering and the placement
+ * loop. Bound to one machine config, like AnalysisCache.
+ */
+struct SchedulerCache
+{
+    AnalysisCache analyses;
+
+    /** Cached smsOrder(ddg, mach), keyed on ddg.generation(). */
+    const std::vector<NodeId> &order(const Ddg &ddg,
+                                     const MachineConfig &mach);
+
+  private:
+    std::uint64_t orderGen_ = 0;
+    std::vector<NodeId> order_;
+};
+
+/**
  * Schedule @p ddg (copies already inserted) at interval @p ii.
  * @param part cluster of every node, including copies
+ * @param cache optional cross-attempt memo (see SchedulerCache);
+ *        pass the same instance to every attempt on one graph lineage
  */
 ScheduleAttempt scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
                              const Partition &part, int ii,
-                             const SchedulerOptions &opts = {});
+                             const SchedulerOptions &opts = {},
+                             SchedulerCache *cache = nullptr);
 
 } // namespace cvliw
 

@@ -15,17 +15,21 @@ int
 sccRecMii(const Ddg &ddg, const MachineConfig &mach,
           const std::vector<NodeId> &members)
 {
-    // Collect intra-component edges.
+    // Collect intra-component edges with latencies resolved once:
+    // the binary search relaxes each edge members.size() times per
+    // probe, so edgeLatency() must not be in that loop.
     std::vector<bool> in(ddg.numNodeSlots(), false);
     for (NodeId n : members)
         in[n] = true;
-    std::vector<EdgeId> edges;
+    std::vector<FlatEdge> edges;
     bool has_cycle_edge = false;
     for (NodeId n : members) {
         for (EdgeId eid : ddg.outEdges(n)) {
             const DdgEdge &e = ddg.edge(eid);
             if (in[e.dst]) {
-                edges.push_back(eid);
+                edges.push_back({e.src, e.dst,
+                                 ddg.edgeLatency(eid, mach),
+                                 e.distance});
                 if (e.distance > 0)
                     has_cycle_edge = true;
             }
@@ -34,38 +38,20 @@ sccRecMii(const Ddg &ddg, const MachineConfig &mach,
     if (!has_cycle_edge)
         return 0;
 
-    auto positive_cycle = [&](int ii) {
-        std::vector<long long> dist(ddg.numNodeSlots(), 0);
-        const std::size_t passes = members.size();
-        for (std::size_t pass = 0; pass <= passes; ++pass) {
-            bool relaxed = false;
-            for (EdgeId eid : edges) {
-                const DdgEdge &e = ddg.edge(eid);
-                const long long w =
-                    ddg.edgeLatency(eid, mach) -
-                    static_cast<long long>(ii) * e.distance;
-                if (dist[e.src] + w > dist[e.dst]) {
-                    dist[e.dst] = dist[e.src] + w;
-                    relaxed = true;
-                }
-            }
-            if (!relaxed)
-                return false;
-            if (pass == passes)
-                return true;
-        }
-        return false;
-    };
+    const int num_nodes = static_cast<int>(members.size());
+    const int slots = ddg.numNodeSlots();
+    std::vector<long long> dist;
 
     long long hi = 1;
-    for (EdgeId eid : edges)
-        hi += ddg.edgeLatency(eid, mach);
-    if (!positive_cycle(1))
+    for (const FlatEdge &e : edges)
+        hi += e.latency;
+    if (!hasPositiveCycleFlat(edges, num_nodes, slots, 1, dist))
         return 1;
     long long lo = 1;
     while (lo + 1 < hi) {
         const long long mid = lo + (hi - lo) / 2;
-        if (positive_cycle(static_cast<int>(mid)))
+        if (hasPositiveCycleFlat(edges, num_nodes, slots,
+                                 static_cast<int>(mid), dist))
             lo = mid;
         else
             hi = mid;
@@ -76,8 +62,16 @@ sccRecMii(const Ddg &ddg, const MachineConfig &mach,
 std::vector<NodeId>
 smsOrder(const Ddg &ddg, const MachineConfig &mach)
 {
-    const NodeTimes times = computeTimes(ddg, mach);
-    const auto comp = stronglyConnectedComponents(ddg);
+    AnalysisCache cache;
+    return smsOrder(ddg, mach, cache);
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const MachineConfig &mach,
+         AnalysisCache &cache)
+{
+    const NodeTimes &times = cache.times(ddg, mach);
+    const auto &comp = cache.scc(ddg);
 
     // Group live nodes by SCC.
     std::map<int, std::vector<NodeId>> by_comp;

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "ddg/analysis.hh"
 #include "ddg/ddg.hh"
 
 namespace cvliw
@@ -30,6 +31,14 @@ namespace cvliw
  * of the tightest recurrences come first.
  */
 std::vector<NodeId> smsOrder(const Ddg &ddg, const MachineConfig &mach);
+
+/**
+ * Same, reusing @p cache for the node times and SCCs (they are also
+ * needed by the scheduler itself, so sharing one cache avoids
+ * recomputing them within a single scheduling attempt).
+ */
+std::vector<NodeId> smsOrder(const Ddg &ddg, const MachineConfig &mach,
+                             AnalysisCache &cache);
 
 /**
  * RecMII of one strongly connected component: max over its cycles of

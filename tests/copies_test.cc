@@ -52,9 +52,9 @@ TEST(Copies, SingleBroadcastForTwoRemoteConsumers)
     // The copy lives in the producer's cluster.
     EXPECT_EQ(p.clusterOf(copy), 0);
     // Remote consumers read the copy, the local one does not.
-    EXPECT_EQ(g.flowPreds(b.id("w1")), std::vector<NodeId>{copy});
-    EXPECT_EQ(g.flowPreds(b.id("w2")), std::vector<NodeId>{copy});
-    EXPECT_EQ(g.flowPreds(b.id("local")),
+    EXPECT_EQ(g.flowPreds(b.id("w1")).toVector(), std::vector<NodeId>{copy});
+    EXPECT_EQ(g.flowPreds(b.id("w2")).toVector(), std::vector<NodeId>{copy});
+    EXPECT_EQ(g.flowPreds(b.id("local")).toVector(),
               std::vector<NodeId>{b.id("p")});
     // After insertion no raw communications remain.
     EXPECT_EQ(findCommunications(g, p.vec()).count(), 0);

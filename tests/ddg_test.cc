@@ -23,8 +23,8 @@ TEST(Ddg, AddNodesAndEdges)
 
     EXPECT_EQ(g.numNodes(), 2);
     EXPECT_EQ(g.numEdges(), 1);
-    EXPECT_EQ(g.flowSuccs(a), std::vector<NodeId>{b});
-    EXPECT_EQ(g.flowPreds(b), std::vector<NodeId>{a});
+    EXPECT_EQ(g.flowSuccs(a).toVector(), std::vector<NodeId>{b});
+    EXPECT_EQ(g.flowPreds(b).toVector(), std::vector<NodeId>{a});
 }
 
 TEST(Ddg, DefaultLabels)
@@ -93,7 +93,7 @@ TEST(Ddg, NodesListSkipsTombstones)
     const NodeId a = g.addNode(OpClass::IntAlu, "a");
     const NodeId b = g.addNode(OpClass::IntAlu, "b");
     g.removeNode(a);
-    const auto live = g.nodes();
+    const auto live = g.nodes().toVector();
     ASSERT_EQ(live.size(), 1u);
     EXPECT_EQ(live[0], b);
     EXPECT_EQ(g.numNodeSlots(), 2);

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the zero-allocation DDG traversal views: tombstone
+ * skipping after removals, iterator stability under const access,
+ * the generation counter contract, the AnalysisCache memo, and a
+ * regression check that compile() results on the paper's worked
+ * example are unchanged by the view migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "ddg/analysis.hh"
+#include "ddg/ddg.hh"
+#include "paper_graph.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+/** a -> b -> c with a loop-carried c -> a and a memory edge a -> c. */
+struct SmallGraph
+{
+    Ddg g;
+    NodeId a, b, c;
+    EdgeId ab, bc, ca, ac_mem;
+
+    SmallGraph()
+    {
+        a = g.addNode(OpClass::Load, "a");
+        b = g.addNode(OpClass::IntAlu, "b");
+        c = g.addNode(OpClass::FpAlu, "c");
+        ab = g.addEdge(a, b, EdgeKind::RegFlow, 0);
+        bc = g.addEdge(b, c, EdgeKind::RegFlow, 0);
+        ca = g.addEdge(c, a, EdgeKind::RegFlow, 1);
+        ac_mem = g.addEdge(a, c, EdgeKind::Memory, 0, 2);
+    }
+};
+
+TEST(DdgViews, NodeRangeSkipsTombstones)
+{
+    SmallGraph s;
+    s.g.removeNode(s.b);
+    EXPECT_EQ(s.g.nodes().toVector(),
+              (std::vector<NodeId>{s.a, s.c}));
+    EXPECT_EQ(s.g.numNodeSlots(), 3);
+    EXPECT_EQ(s.g.numNodes(), 2);
+}
+
+TEST(DdgViews, EdgeRangeSkipsEdgesOfRemovedNode)
+{
+    SmallGraph s;
+    s.g.removeNode(s.b); // kills ab and bc
+    EXPECT_EQ(s.g.edges().toVector(),
+              (std::vector<EdgeId>{s.ca, s.ac_mem}));
+    EXPECT_EQ(s.g.numEdges(), 2);
+}
+
+TEST(DdgViews, AdjacencyRangesSkipRemovedEdges)
+{
+    SmallGraph s;
+    s.g.removeEdge(s.ab);
+    EXPECT_TRUE(s.g.outEdges(s.a).toVector() ==
+                std::vector<EdgeId>{s.ac_mem});
+    EXPECT_TRUE(s.g.inEdges(s.b).empty());
+    EXPECT_EQ(s.g.inEdges(s.b).size(), 0u);
+    EXPECT_EQ(s.g.outEdges(s.b).toVector(),
+              std::vector<EdgeId>{s.bc});
+}
+
+TEST(DdgViews, FlowRangesFilterKindAndTombstones)
+{
+    SmallGraph s;
+    // Memory edge a -> c must not appear as a flow neighbour.
+    EXPECT_EQ(s.g.flowSuccs(s.a).toVector(),
+              std::vector<NodeId>{s.b});
+    EXPECT_EQ(s.g.flowPreds(s.c).toVector(),
+              std::vector<NodeId>{s.b});
+    EXPECT_EQ(s.g.flowPreds(s.a).toVector(),
+              std::vector<NodeId>{s.c}); // loop-carried counts
+    s.g.removeEdge(s.bc);
+    EXPECT_TRUE(s.g.flowPreds(s.c).empty());
+    EXPECT_EQ(s.g.flowSuccs(s.c).front(), s.a);
+    EXPECT_EQ(s.g.flowSuccs(s.c).size(), 1u);
+}
+
+TEST(DdgViews, IteratorsAreStableUnderConstAccess)
+{
+    SmallGraph s;
+    const Ddg &g = s.g;
+
+    // Two interleaved traversals of the same range see the same
+    // sequence, and const accessors between increments do not
+    // perturb them.
+    auto r = g.nodes();
+    auto it1 = r.begin();
+    auto it2 = r.begin();
+    std::vector<NodeId> seq1, seq2;
+    while (it1 != r.end()) {
+        seq1.push_back(*it1);
+        (void)g.node(*it1);
+        (void)g.numNodes();
+        ++it1;
+    }
+    while (it2 != r.end()) {
+        seq2.push_back(*it2);
+        ++it2;
+    }
+    EXPECT_EQ(seq1, seq2);
+    EXPECT_EQ(seq1, g.nodes().toVector());
+
+    // A range outlives tombstoning mutations: removing an edge while
+    // an adjacency range exists must not invalidate it (the paper's
+    // rewiring passes rely on this).
+    auto out = s.g.outEdges(s.a);
+    s.g.removeEdge(s.ab);
+    EXPECT_EQ(out.toVector(), std::vector<EdgeId>{s.ac_mem});
+}
+
+TEST(DdgViews, GenerationAdvancesOnStructuralMutation)
+{
+    Ddg g;
+    const auto g0 = g.generation();
+    const NodeId a = g.addNode(OpClass::Load, "a");
+    const auto g1 = g.generation();
+    EXPECT_NE(g0, g1);
+    const NodeId b = g.addNode(OpClass::IntAlu, "b");
+    const EdgeId e = g.addEdge(a, b, EdgeKind::RegFlow, 0);
+    const auto g2 = g.generation();
+    EXPECT_NE(g1, g2);
+    g.removeEdge(e);
+    const auto g3 = g.generation();
+    EXPECT_NE(g2, g3);
+    g.removeNode(b);
+    EXPECT_NE(g3, g.generation());
+
+    // Field writes through node() do not advance the stamp; an
+    // explicit bump does.
+    const auto g4 = g.generation();
+    g.node(a).liveOut = true;
+    EXPECT_EQ(g4, g.generation());
+    g.bumpGeneration();
+    EXPECT_NE(g4, g.generation());
+}
+
+TEST(DdgViews, GenerationStampsAreProcessUnique)
+{
+    // Two graphs that diverge from a common copy must never share a
+    // stamp again, even after the same number of mutations - this is
+    // what lets a single-slot cache key on the stamp alone.
+    SmallGraph s;
+    Ddg copy = s.g;
+    EXPECT_EQ(copy.generation(), s.g.generation());
+
+    s.g.addNode(OpClass::IntAlu, "x");
+    copy.addNode(OpClass::IntAlu, "y");
+    EXPECT_NE(copy.generation(), s.g.generation());
+}
+
+TEST(DdgViews, AnalysisCacheTracksMutations)
+{
+    SmallGraph s;
+    const auto m = MachineConfig::unified();
+    AnalysisCache cache;
+
+    EXPECT_EQ(cache.topo(s.g), topoOrder(s.g));
+    // Cached pointer stays put while the graph is unchanged.
+    const auto *first = &cache.topo(s.g);
+    EXPECT_EQ(first, &cache.topo(s.g));
+    EXPECT_EQ(cache.times(s.g, m).asap, computeTimes(s.g, m).asap);
+    EXPECT_EQ(cache.scc(s.g), stronglyConnectedComponents(s.g));
+
+    // Mutate: the memo must recompute.
+    const NodeId d = s.g.addNode(OpClass::IntAlu, "d");
+    s.g.addEdge(s.c, d, EdgeKind::RegFlow, 0);
+    EXPECT_EQ(cache.topo(s.g), topoOrder(s.g));
+    EXPECT_EQ(cache.times(s.g, m).length, computeTimes(s.g, m).length);
+    EXPECT_EQ(cache.scc(s.g), stronglyConnectedComponents(s.g));
+}
+
+TEST(DdgViews, FlattenedEdgesMatchGraph)
+{
+    SmallGraph s;
+    const auto m = MachineConfig::unified();
+    s.g.removeEdge(s.bc);
+    const auto flat = flattenEdges(s.g, m);
+    ASSERT_EQ(flat.size(), 3u);
+    for (const FlatEdge &e : flat) {
+        bool found = false;
+        for (EdgeId eid : s.g.edges()) {
+            const DdgEdge &ge = s.g.edge(eid);
+            if (ge.src == e.src && ge.dst == e.dst &&
+                ge.distance == e.distance &&
+                s.g.edgeLatency(eid, m) == e.latency) {
+                found = true;
+            }
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+/**
+ * The migration is a pure performance refactor: compile() on the
+ * paper's worked example must keep producing exactly the result the
+ * pre-view pipeline produced (verified against the seed build on the
+ * full 678-loop suite; this pins the paper example permanently).
+ */
+TEST(DdgViews, CompileResultsUnchangedByMigration)
+{
+    PaperExample ex;
+    const CompileResult r = compile(ex.ddg, ex.mach);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.mii, 1);
+    EXPECT_EQ(r.ii, 2);
+    EXPECT_EQ(r.schedule.length, 10);
+    EXPECT_EQ(r.schedule.stageCount, 5);
+    EXPECT_EQ(r.repl.replicasAdded, 4);
+    EXPECT_EQ(r.spills, 0);
+    EXPECT_EQ(r.comsFinal, 2);
+    const int worst = *std::max_element(r.schedule.maxLive.begin(),
+                                        r.schedule.maxLive.end());
+    EXPECT_EQ(worst, 1);
+
+    // Determinism: a second compile of the same graph is identical.
+    const CompileResult r2 = compile(ex.ddg, ex.mach);
+    EXPECT_EQ(r2.ii, r.ii);
+    EXPECT_EQ(r2.schedule.length, r.schedule.length);
+    EXPECT_EQ(r2.schedule.maxLive, r.schedule.maxLive);
+    EXPECT_EQ(r2.schedule.start, r.schedule.start);
+}
+
+} // namespace
+} // namespace cvliw

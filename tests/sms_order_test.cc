@@ -31,7 +31,7 @@ TEST(SmsOrder, ContainsEveryNodeOnce)
     ASSERT_EQ(order.size(), 4u);
     auto sorted = order;
     std::sort(sorted.begin(), sorted.end());
-    EXPECT_EQ(sorted, g.nodes());
+    EXPECT_EQ(sorted, g.nodes().toVector());
 }
 
 TEST(SmsOrder, TightestRecurrenceFirst)
