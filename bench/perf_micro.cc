@@ -18,6 +18,7 @@
 #include "core/replicator.hh"
 #include "ddg/analysis.hh"
 #include "partition/multilevel.hh"
+#include "partition/refine.hh"
 #include "sched/copies.hh"
 #include "sched/mii.hh"
 #include "sched/scheduler.hh"
@@ -155,6 +156,29 @@ BM_RecurrenceMii(benchmark::State &state)
 }
 BENCHMARK(BM_RecurrenceMii)->Arg(0)->Arg(1);
 
+/**
+ * refinePartition alone, from a degenerate everything-in-cluster-0
+ * start on the largest suite loops: the partitioner's hot path, and
+ * the workload the incremental move evaluation exists for.
+ */
+void
+BM_RefinePartition(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(static_cast<int>(state.range(0)));
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    Partition p(m.numClusters(), loop.ddg.numNodeSlots());
+    for (NodeId n : loop.ddg.nodes())
+        p.assign(n, 0);
+    PseudoScratch scratch;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            refinePartition(loop.ddg, m, p, mii, &scratch));
+    }
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_RefinePartition)->Arg(0)->Arg(2);
+
 void
 BM_ReplicationPass(benchmark::State &state)
 {
@@ -171,6 +195,29 @@ BM_ReplicationPass(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ReplicationPass);
+
+/**
+ * A rounds-dominated replication pass: one bus of latency 4 starves
+ * the largest loops into ~8 selection rounds, which is where the
+ * incremental CommInfo patching and subgraph-pool reuse pay off.
+ */
+void
+BM_ReplicationHeavy(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(2);
+    const auto m = MachineConfig::fromString("4c1b4l64r");
+    const int mii = minimumIi(loop.ddg, m);
+    const auto pr = multilevelPartition(loop.ddg, m, mii);
+    for (auto _ : state) {
+        Ddg g = loop.ddg;
+        Partition part = pr.partition;
+        ReplicationStats stats;
+        reduceCommunications(g, part, m, mii, &stats);
+        benchmark::DoNotOptimize(stats.replicasAdded);
+    }
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_ReplicationHeavy);
 
 void
 BM_EndToEndCompile(benchmark::State &state)

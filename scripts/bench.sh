@@ -8,7 +8,17 @@
 # per-benchmark speedups against it. Refresh the baseline explicitly
 # with --rebaseline after an intentional perf change has landed.
 #
+# With --gate RATIO the script exits non-zero when any benchmark runs
+# slower than RATIO times its stored baseline (e.g. --gate 0.9 fails
+# on >10% regressions). Only benchmarks whose baseline is at least
+# 1 ms are gated: microsecond-scale benches swing past 10% from
+# scheduler noise alone on shared runners, while the coarse
+# end-to-end ones are stable. Only meaningful when the baseline was
+# recorded on comparable hardware; CI re-baselines first for that
+# reason.
+#
 # Usage: scripts/bench.sh [--rebaseline] [--min-time SECONDS]
+#                         [--gate RATIO]
 
 set -euo pipefail
 
@@ -19,10 +29,12 @@ raw_json="${build_dir}/perf_micro_raw.json"
 
 rebaseline=0
 min_time=0.2
+gate=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
       --rebaseline) rebaseline=1; shift ;;
       --min-time) min_time="$2"; shift 2 ;;
+      --gate) gate="$2"; shift 2 ;;
       *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
 done
@@ -41,11 +53,12 @@ fi
     --benchmark_format=json \
     --benchmark_min_time="${min_time}" > "${raw_json}"
 
-python3 - "$raw_json" "$out_json" "$rebaseline" <<'PY'
+python3 - "$raw_json" "$out_json" "$rebaseline" "$gate" <<'PY'
 import json
 import sys
 
 raw_path, out_path, rebaseline = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+gate = float(sys.argv[4]) if sys.argv[4] else None
 raw = json.load(open(raw_path))
 
 current = {
@@ -67,11 +80,20 @@ if baseline is None:
     baseline = current
     baseline_label = "rebaselined from this run"
 
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def to_ns(entry):
+    return entry["real_time"] * UNIT_NS.get(entry["time_unit"], 1.0)
+
+
 speedup = {}
 for name, cur in current.items():
     base = baseline.get(name)
     if base and cur["real_time"] > 0:
-        speedup[name] = round(base["real_time"] / cur["real_time"], 3)
+        # Normalize units: a bench's reported time_unit may change
+        # between the stored baseline and this run.
+        speedup[name] = round(to_ns(base) / to_ns(cur), 3)
 
 doc = {
     "schema": "cvliw-bench-pipeline-v1",
@@ -86,4 +108,19 @@ json.dump(doc, open(out_path, "w"), indent=2, sort_keys=True)
 print(f"wrote {out_path}")
 for name in sorted(speedup):
     print(f"  {name}: {speedup[name]}x vs baseline")
+
+if gate is not None:
+    def coarse(name):
+        base = baseline.get(name)
+        # Gate only >=1ms benches: stable on CI.
+        return bool(base) and to_ns(base) >= 1e6
+
+    slow = {n: s for n, s in speedup.items()
+            if s < gate and coarse(n)}
+    if slow:
+        print(f"FAIL: benchmarks regressed past the {gate}x gate:")
+        for name in sorted(slow):
+            print(f"  {name}: {slow[name]}x vs baseline")
+        sys.exit(1)
+    print(f"gate ok: no >=1ms benchmark below {gate}x of baseline")
 PY

@@ -66,8 +66,13 @@ compile(const Ddg &original, const MachineConfig &mach,
     result.mii = minimumIi(original, mach);
     result.usefulOps = original.numNodes();
 
+    // One scratch across the initial partition and every per-II
+    // refinement: buffers and the topo memo survive II bumps.
+    PseudoScratch pseudo_scratch;
+
     PartitionResult pr = multilevelPartition(original, mach,
-                                             result.mii);
+                                             result.mii,
+                                             &pseudo_scratch);
 
     SchedulerOptions sched_opts;
     sched_opts.zeroBusLatencyForLength = opts.zeroBusLatency;
@@ -86,7 +91,8 @@ compile(const Ddg &original, const MachineConfig &mach,
         if (ii > result.mii) {
             // Figure 2: more slots per cluster, so refine.
             pr.partition = refinePartition(original, mach,
-                                           pr.partition, ii);
+                                           pr.partition, ii,
+                                           &pseudo_scratch);
         }
 
         Ddg work = original;

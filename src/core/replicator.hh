@@ -75,10 +75,17 @@ bool replicateIntoCluster(Ddg &ddg, Partition &part,
  * cannot reach a store or a live-out value through register-flow
  * edges is deleted (this also collects dead recurrence cycles, which
  * keep each other alive under a local criterion). Updates @p index.
+ * @param touched when non-null, receives the removed nodes and their
+ *        flow producers (whose communication status may change)
+ * @param removed_out when non-null, receives just the removed nodes
+ *        (the replication pass re-dirties subgraphs that relied on
+ *        the removed instances)
  * @return number of instructions removed
  */
 int removeDeadCode(Ddg &ddg, const Partition &part,
-                   ReplicaIndex &index);
+                   ReplicaIndex &index,
+                   std::vector<NodeId> *touched = nullptr,
+                   std::vector<NodeId> *removed_out = nullptr);
 
 } // namespace cvliw
 

@@ -8,35 +8,29 @@ namespace cvliw
 {
 
 ReplicaIndex::ReplicaIndex(const Ddg &ddg, const Partition &part)
+    : clusters_(part.numClusters())
 {
+    byKey_.assign(static_cast<std::size_t>(ddg.numNodeSlots()) *
+                      static_cast<std::size_t>(clusters_),
+                  invalidNode);
     for (NodeId n : ddg.nodes()) {
         addInstance(ddg.node(n).semanticId, part.clusterOf(n), n);
     }
 }
 
-bool
-ReplicaIndex::hasInstance(NodeId semantic, int cluster) const
+std::size_t
+ReplicaIndex::slot(NodeId semantic, int cluster) const
 {
-    return byKey_.count({semantic, cluster}) != 0;
-}
-
-NodeId
-ReplicaIndex::instance(NodeId semantic, int cluster) const
-{
-    auto it = byKey_.find({semantic, cluster});
-    return it == byKey_.end() ? invalidNode : it->second;
-}
-
-void
-ReplicaIndex::addInstance(NodeId semantic, int cluster, NodeId node)
-{
-    byKey_[{semantic, cluster}] = node;
-}
-
-void
-ReplicaIndex::removeInstance(NodeId semantic, int cluster)
-{
-    byKey_.erase({semantic, cluster});
+    cv_assert(cluster >= 0 && cluster < clusters_, "bad cluster ",
+              cluster);
+    const std::size_t i =
+        static_cast<std::size_t>(semantic) *
+            static_cast<std::size_t>(clusters_) +
+        static_cast<std::size_t>(cluster);
+    cv_assert(semantic >= 0 && i < byKey_.size(),
+              "semantic id ", semantic,
+              " outside the graph the index was built for");
+    return i;
 }
 
 int

@@ -25,7 +25,11 @@ namespace cvliw
 /**
  * Tracks, for every semantic value, the clusters that hold an
  * instance of it (the original or a replica) and the node realizing
- * that instance.
+ * that instance. Stored as a flat (semantic, cluster) table:
+ * replication walks query hasInstance() once per visited node per
+ * target cluster, so lookups must be O(1) and allocation-free.
+ * Semantic ids are original node ids and replicas inherit them, so
+ * the table never grows after construction.
  */
 class ReplicaIndex
 {
@@ -34,19 +38,34 @@ class ReplicaIndex
     ReplicaIndex(const Ddg &ddg, const Partition &part);
 
     /** Is an instance of @p semantic present in @p cluster? */
-    bool hasInstance(NodeId semantic, int cluster) const;
+    bool hasInstance(NodeId semantic, int cluster) const
+    {
+        return instance(semantic, cluster) != invalidNode;
+    }
 
     /** Node realizing @p semantic in @p cluster (invalidNode if none). */
-    NodeId instance(NodeId semantic, int cluster) const;
+    NodeId instance(NodeId semantic, int cluster) const
+    {
+        return byKey_[slot(semantic, cluster)];
+    }
 
     /** Record a new instance. */
-    void addInstance(NodeId semantic, int cluster, NodeId node);
+    void addInstance(NodeId semantic, int cluster, NodeId node)
+    {
+        byKey_[slot(semantic, cluster)] = node;
+    }
 
     /** Remove the instance of @p semantic in @p cluster. */
-    void removeInstance(NodeId semantic, int cluster);
+    void removeInstance(NodeId semantic, int cluster)
+    {
+        byKey_[slot(semantic, cluster)] = invalidNode;
+    }
 
   private:
-    std::map<std::pair<NodeId, int>, NodeId> byKey_;
+    std::size_t slot(NodeId semantic, int cluster) const;
+
+    int clusters_ = 1;
+    std::vector<NodeId> byKey_; //!< [semantic * clusters_ + cluster]
 };
 
 /**

@@ -13,21 +13,25 @@ namespace
 constexpr auto numKinds =
     static_cast<std::size_t>(ResourceKind::NumResourceKinds);
 
-/** extra_ops(res, c, S): subgraph ops of kind @p res added to @p c. */
-int
-extraOps(const Ddg &ddg, const MachineConfig &mach,
-         const ReplicationSubgraph &sg, ResourceKind res, int cluster)
+/**
+ * extra_ops(res, c, S) for every (res, c) in one pass over the
+ * subgraph: entry [kind * clusters + c] counts the subgraph ops of
+ * that kind added to cluster c.
+ */
+std::vector<int>
+extraOpsMatrix(const Ddg &ddg, const MachineConfig &mach,
+               const ReplicationSubgraph &sg, int clusters)
 {
-    int count = 0;
-    for (const auto &[v, clusters] : sg.required) {
-        if (mach.resourceFor(ddg.node(v).cls) != res)
-            continue;
-        if (std::binary_search(clusters.begin(), clusters.end(),
-                               cluster)) {
-            ++count;
-        }
+    std::vector<int> extra(numKinds * static_cast<std::size_t>(clusters),
+                           0);
+    for (const auto &[v, cs] : sg.required) {
+        const auto k = static_cast<std::size_t>(
+            mach.resourceFor(ddg.node(v).cls));
+        for (int c : cs)
+            ++extra[k * static_cast<std::size_t>(clusters) +
+                    static_cast<std::size_t>(c)];
     }
-    return count;
+    return extra;
 }
 
 } // namespace
@@ -37,9 +41,15 @@ subgraphWeight(const Ddg &ddg, const MachineConfig &mach,
                const Partition &part, int ii,
                const ReplicationSubgraph &sg,
                const std::vector<ReplicationSubgraph> &all,
-               const std::vector<NodeId> &removable)
+               const std::vector<NodeId> &removable,
+               const std::vector<std::vector<int>> *usage_in)
 {
-    const auto usage = part.usage(ddg, mach);
+    const auto usage_local =
+        usage_in ? std::vector<std::vector<int>>()
+                 : part.usage(ddg, mach);
+    const auto &usage = usage_in ? *usage_in : usage_local;
+    const int num_clusters = mach.numClusters();
+    const auto extra = extraOpsMatrix(ddg, mach, sg, num_clusters);
     Rational weight(0);
 
     for (const auto &[v, clusters] : sg.required) {
@@ -54,7 +64,9 @@ subgraphWeight(const Ddg &ddg, const MachineConfig &mach,
             }
             Rational term(
                 usage[static_cast<std::size_t>(res)][c] +
-                    extraOps(ddg, mach, sg, res, c),
+                    extra[static_cast<std::size_t>(res) *
+                              static_cast<std::size_t>(num_clusters) +
+                          static_cast<std::size_t>(c)],
                 static_cast<std::int64_t>(avail) * ii);
 
             // Sharing: a copy of v in c serves every subgraph that
@@ -87,19 +99,27 @@ subgraphWeight(const Ddg &ddg, const MachineConfig &mach,
 bool
 replicationFeasible(const Ddg &ddg, const MachineConfig &mach,
                     const Partition &part, int ii,
-                    const ReplicationSubgraph &sg)
+                    const ReplicationSubgraph &sg,
+                    const std::vector<std::vector<int>> *usage_in)
 {
-    const auto usage = part.usage(ddg, mach);
+    const auto usage_local =
+        usage_in ? std::vector<std::vector<int>>()
+                 : part.usage(ddg, mach);
+    const auto &usage = usage_in ? *usage_in : usage_local;
+    const int num_clusters = mach.numClusters();
+    const auto extra = extraOpsMatrix(ddg, mach, sg, num_clusters);
     for (std::size_t k = 0; k < numKinds; ++k) {
         const auto kind = static_cast<ResourceKind>(k);
         if (kind == ResourceKind::Bus)
             continue;
-        for (int c = 0; c < mach.numClusters(); ++c) {
-            const int extra = extraOps(ddg, mach, sg, kind, c);
-            if (extra == 0)
+        for (int c = 0; c < num_clusters; ++c) {
+            const int x =
+                extra[k * static_cast<std::size_t>(num_clusters) +
+                      static_cast<std::size_t>(c)];
+            if (x == 0)
                 continue;
             const int avail = mach.available(kind);
-            if (avail == 0 || usage[k][c] + extra > avail * ii)
+            if (avail == 0 || usage[k][c] + x > avail * ii)
                 return false;
         }
     }

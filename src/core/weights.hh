@@ -44,17 +44,27 @@ struct WeightedSubgraph
  * @param all every candidate subgraph of the current round (used for
  *        the sharing division; must include @p sg itself)
  * @param removable result of findRemovableInstructions() for sg.com
+ * @param usage optional precomputed Partition::usage(ddg, mach); the
+ *        replication selector scores many candidates against one
+ *        partition state and hoists it out of the loop
  */
 Rational subgraphWeight(const Ddg &ddg, const MachineConfig &mach,
                         const Partition &part, int ii,
                         const ReplicationSubgraph &sg,
                         const std::vector<ReplicationSubgraph> &all,
-                        const std::vector<NodeId> &removable);
+                        const std::vector<NodeId> &removable,
+                        const std::vector<std::vector<int>> *usage =
+                            nullptr);
 
-/** Capacity check: replicas of @p sg fit into their target clusters. */
+/**
+ * Capacity check: replicas of @p sg fit into their target clusters.
+ * @param usage optional precomputed Partition::usage(ddg, mach)
+ */
 bool replicationFeasible(const Ddg &ddg, const MachineConfig &mach,
                          const Partition &part, int ii,
-                         const ReplicationSubgraph &sg);
+                         const ReplicationSubgraph &sg,
+                         const std::vector<std::vector<int>> *usage =
+                             nullptr);
 
 } // namespace cvliw
 

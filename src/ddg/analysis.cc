@@ -287,9 +287,10 @@ AnalysisCache::topo(const Ddg &ddg)
 const NodeTimes &
 AnalysisCache::times(const Ddg &ddg, const MachineConfig &mach)
 {
-    if (timesGen_ != ddg.generation()) {
+    if (timesGen_ != ddg.generation() || timesCfg_ != mach.id()) {
         times_ = computeTimesOrdered(ddg, mach, topo(ddg));
         timesGen_ = ddg.generation();
+        timesCfg_ = mach.id();
     }
     return times_;
 }

@@ -10,9 +10,10 @@
  * generation stamp (see Ddg::generation()): the pipeline retries
  * partition -> replicate -> schedule at every II, and most retries
  * re-analyse a graph that has not changed since the last attempt.
- * One cache instance serves one (graph lineage, machine config) pair;
- * results computed for a different machine config must not share a
- * cache.
+ * Machine-dependent results (times) additionally carry the config's
+ * identity stamp (MachineConfig::id()), so one cache instance may be
+ * shared across machine configs without ever reusing stale
+ * latency-dependent results.
  */
 
 #ifndef CVLIW_DDG_ANALYSIS_HH
@@ -83,10 +84,11 @@ std::vector<bool> nodesOnRecurrences(const Ddg &ddg);
 
 /**
  * Generation-keyed memo for the pure DDG analyses. Each accessor
- * recomputes only when the graph's generation stamp differs from the
- * one the cached result was computed at, so repeated calls on an
- * unchanged graph (the scheduler's placement loop, II retries without
- * structural edits) cost a single integer compare.
+ * recomputes only when the graph's generation stamp (plus, for
+ * machine-dependent analyses, the config's identity stamp) differs
+ * from the one the cached result was computed at, so repeated calls
+ * on an unchanged graph (the scheduler's placement loop, II retries
+ * without structural edits) cost a couple of integer compares.
  *
  * The cache is single-slot per analysis: a mutation invalidates
  * everything computed before it. It is intentionally not thread-safe;
@@ -106,9 +108,11 @@ class AnalysisCache
     const std::vector<int> &scc(const Ddg &ddg);
 
   private:
-    // Generation stamps start at 1, so 0 means "never computed".
+    // Generation/config stamps start at 1, so 0 means "never
+    // computed".
     std::uint64_t topoGen_ = 0;
     std::uint64_t timesGen_ = 0;
+    std::uint64_t timesCfg_ = 0;
     std::uint64_t sccGen_ = 0;
     std::vector<NodeId> topo_;
     NodeTimes times_;

@@ -1,10 +1,21 @@
 #include "machine/config.hh"
 
+#include <atomic>
+
 #include "support/logging.hh"
 #include "support/strutil.hh"
 
 namespace cvliw
 {
+
+std::uint64_t
+MachineConfig::freshId()
+{
+    // Process-unique stamps, like Ddg::freshGeneration: the suite
+    // runner builds configs from several threads.
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 namespace
 {
@@ -173,6 +184,9 @@ MachineConfig::setLatency(OpClass cls, int cycles)
     if (cycles < 1)
         cv_fatal("latency must be >= 1");
     latency_[static_cast<std::size_t>(cls)] = cycles;
+    // The override changes analysis-relevant behaviour without
+    // changing name(); re-stamp so caches see a different machine.
+    id_ = freshId();
 }
 
 int

@@ -11,6 +11,7 @@
 #define CVLIW_MACHINE_CONFIG_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
 
 #include "machine/op_class.hh"
@@ -104,9 +105,22 @@ class MachineConfig
     /** Canonical configuration name (round-trips fromString()). */
     std::string name() const;
 
+    /**
+     * Process-unique identity stamp. Copies of a config share the
+     * stamp (they describe the same machine); every factory call and
+     * every setLatency() yields a fresh one. Caches keyed on
+     * (Ddg::generation(), id()) therefore never confuse results
+     * computed for different machines, even when two configs would
+     * print the same name() but differ in overridden latencies.
+     */
+    std::uint64_t id() const { return id_; }
+
   private:
     MachineConfig() = default;
 
+    static std::uint64_t freshId();
+
+    std::uint64_t id_ = freshId();
     int numClusters_ = 1;
     int numBuses_ = 0;
     int busLatency_ = 1;

@@ -11,7 +11,8 @@ namespace cvliw
 {
 
 PartitionResult
-multilevelPartition(const Ddg &ddg, const MachineConfig &mach, int ii)
+multilevelPartition(const Ddg &ddg, const MachineConfig &mach, int ii,
+                    PseudoScratch *scratch)
 {
     PartitionResult result{
         Partition(mach.numClusters(), ddg.numNodeSlots()),
@@ -113,7 +114,7 @@ multilevelPartition(const Ddg &ddg, const MachineConfig &mach, int ii)
     }
 
     result.partition =
-        refinePartition(ddg, mach, result.partition, ii);
+        refinePartition(ddg, mach, result.partition, ii, scratch);
     return result;
 }
 

@@ -10,6 +10,7 @@
 
 #include "partition/coarsen.hh"
 #include "partition/partition.hh"
+#include "sched/pseudo.hh"
 
 namespace cvliw
 {
@@ -24,9 +25,12 @@ struct PartitionResult
 /**
  * Build an initial partition of @p ddg for @p mach at interval @p ii.
  * For a unified machine all nodes land in cluster 0.
+ * @param scratch optional reusable refinement state (see
+ *        refinePartition)
  */
 PartitionResult multilevelPartition(const Ddg &ddg,
-                                    const MachineConfig &mach, int ii);
+                                    const MachineConfig &mach, int ii,
+                                    PseudoScratch *scratch = nullptr);
 
 } // namespace cvliw
 

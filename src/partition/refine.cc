@@ -1,6 +1,5 @@
 #include "partition/refine.hh"
 
-#include "sched/pseudo.hh"
 #include "support/logging.hh"
 
 namespace cvliw
@@ -8,17 +7,19 @@ namespace cvliw
 
 Partition
 refinePartition(const Ddg &ddg, const MachineConfig &mach,
-                const Partition &initial, int ii, int max_passes)
+                const Partition &initial, int ii,
+                PseudoScratch *scratch, int max_passes)
 {
     if (mach.numClusters() == 1)
         return initial;
 
+    PseudoScratch local;
+    PseudoScratch &s = scratch ? *scratch : local;
+
     Partition part = initial;
-    std::vector<int> assign = part.vec();
-    // The topological order is assignment-independent: share one
-    // memo across every candidate evaluation.
-    AnalysisCache cache;
-    PseudoResult best = pseudoSchedule(ddg, mach, assign, ii, &cache);
+    // bind() seeds the incremental move-evaluation state and returns
+    // the from-scratch result of the starting assignment.
+    PseudoResult best = s.bind(ddg, mach, part.vec(), ii);
 
     const auto live = ddg.nodes();
     for (int pass = 0; pass < max_passes; ++pass) {
@@ -26,29 +27,28 @@ refinePartition(const Ddg &ddg, const MachineConfig &mach,
         for (NodeId n : live) {
             if (ddg.node(n).cls == OpClass::Copy)
                 continue;
-            const int home = assign[n];
+            const int home = s.assignment()[n];
             int best_cluster = home;
             for (int c = 0; c < mach.numClusters(); ++c) {
                 if (c == home || c == best_cluster)
                     continue;
-                assign[n] = c;
-                PseudoResult r =
-                    pseudoSchedule(ddg, mach, assign, ii, &cache);
-                if (r.better(best)) {
+                PseudoResult r;
+                if (s.probeMove(n, c, best, r)) {
                     best = r;
                     best_cluster = c;
                 }
             }
-            assign[n] = best_cluster;
-            if (best_cluster != home)
+            if (best_cluster != home) {
+                s.commitMove(n, best_cluster);
                 improved = true;
+            }
         }
         if (!improved)
             break;
     }
 
     for (NodeId n : live)
-        part.assign(n, assign[n]);
+        part.assign(n, s.assignment()[n]);
     return part;
 }
 

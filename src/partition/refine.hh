@@ -11,23 +11,32 @@
 #define CVLIW_PARTITION_REFINE_HH
 
 #include "partition/partition.hh"
+#include "sched/pseudo.hh"
 
 namespace cvliw
 {
 
 /**
  * Hill-climb on single-node moves until a full pass makes no
- * improvement (bounded by @p max_passes).
+ * improvement (bounded by @p max_passes). Each candidate move is
+ * evaluated incrementally against the current best via
+ * PseudoScratch::probeMove (see sched/pseudo.hh for the delta
+ * invariants); the result is identical to probing every candidate
+ * with a from-scratch pseudoSchedule.
  *
  * @param ddg loop body (no copies)
  * @param mach target machine
  * @param initial starting assignment
  * @param ii probed initiation interval
+ * @param scratch optional reusable evaluation state; the pipeline
+ *        threads one instance through every refinement so buffers
+ *        and the topological-order memo survive across II bumps
  * @param max_passes pass bound
  * @return the refined partition (never worse than @p initial)
  */
 Partition refinePartition(const Ddg &ddg, const MachineConfig &mach,
                           const Partition &initial, int ii,
+                          PseudoScratch *scratch = nullptr,
                           int max_passes = 4);
 
 } // namespace cvliw

@@ -35,6 +35,23 @@ struct CommInfo
 
     /** Number of communications (== producers.size()). */
     int count() const { return static_cast<int>(producers.size()); }
+
+    /**
+     * Patch this CommInfo after a graph edit, recomputing the
+     * communication status of just the @p touched nodes (duplicates,
+     * dead nodes and non-producers are fine; new node ids grow the
+     * flag array). The caller guarantees that every node whose
+     * consumers, cluster or out-edges changed is in @p touched; the
+     * result is then exactly findCommunications() on the edited
+     * graph, at the cost of the touched nodes' out-degrees.
+     *
+     * @return the nodes whose communication status or remote target
+     *         set actually changed, in NodeId order (the replication
+     *         pass seeds its subgraph-staleness walk with them)
+     */
+    std::vector<NodeId> update(const Ddg &ddg,
+                               const std::vector<int> &cluster_of,
+                               std::vector<NodeId> touched);
 };
 
 /**

@@ -17,6 +17,19 @@ ReservationTables::ReservationTables(const MachineConfig &mach, int ii)
     busBusy_.assign(mach.numBuses(), std::vector<bool>(ii, false));
 }
 
+void
+ReservationTables::reset(int ii)
+{
+    cv_assert(ii >= 1, "II must be >= 1");
+    ii_ = ii;
+    for (auto &kind : used_) {
+        for (auto &cluster : kind)
+            cluster.assign(ii, 0);
+    }
+    for (auto &bus : busBusy_)
+        bus.assign(ii, false);
+}
+
 bool
 ReservationTables::canPlaceOp(int cluster, ResourceKind kind,
                               int t) const
@@ -69,11 +82,20 @@ ReservationTables::canPlaceCopy(int t) const
 int
 ReservationTables::placeCopy(int t)
 {
-    const int b = busFreeAt(t);
-    cv_assert(b >= 0, "no free bus at phase ", phase(t));
-    for (int k = 0; k < mach_.busLatency(); ++k)
-        busBusy_[b][phase(t) + k] = true;
-    return b;
+    return placeCopy(t, busFreeAt(t));
+}
+
+int
+ReservationTables::placeCopy(int t, int bus)
+{
+    cv_assert(bus >= 0 && bus < mach_.numBuses(),
+              "no free bus at phase ", phase(t));
+    for (int k = 0; k < mach_.busLatency(); ++k) {
+        cv_assert(!busBusy_[bus][phase(t) + k],
+                  "stale bus handle for phase ", phase(t));
+        busBusy_[bus][phase(t) + k] = true;
+    }
+    return bus;
 }
 
 void

@@ -23,11 +23,22 @@
 namespace cvliw
 {
 
-/** Reservation state for one scheduling attempt at a fixed II. */
+/**
+ * Reservation state for one scheduling attempt at a fixed II. The
+ * object is reusable: reset(ii) re-arms it for the next attempt
+ * without releasing the table storage, so the scheduler keeps one
+ * instance across II bumps and spill retries (see SchedulerCache).
+ */
 class ReservationTables
 {
   public:
     ReservationTables(const MachineConfig &mach, int ii);
+
+    /**
+     * Clear all reservations and switch to @p ii, resizing the
+     * tables in place (capacity is kept when shrinking).
+     */
+    void reset(int ii);
 
     int ii() const { return ii_; }
 
@@ -43,8 +54,22 @@ class ReservationTables
     /** Can a copy (bus transfer) start at absolute cycle @p t? */
     bool canPlaceCopy(int t) const;
 
+    /**
+     * Probe for a copy at absolute cycle @p t: the free bus that a
+     * placement would use, or -1 when none fits. Pass the handle to
+     * placeCopy(t, bus) to commit without re-scanning.
+     */
+    int busFreeAt(int t) const;
+
     /** Commit a copy at cycle @p t; returns the bus used. */
     int placeCopy(int t);
+
+    /**
+     * Commit a copy at cycle @p t on @p bus, as returned by a
+     * busFreeAt(t) probe with no intervening mutation. O(bus latency),
+     * no bus scan.
+     */
+    int placeCopy(int t, int bus);
 
     /** Release a previously placed op (used by the sink pass). */
     void removeOp(int cluster, ResourceKind kind, int t);
@@ -56,8 +81,6 @@ class ReservationTables
     int opCount(int cluster, ResourceKind kind, int t) const;
 
   private:
-    int busFreeAt(int t) const;
-
     const MachineConfig &mach_;
     int ii_;
     // used_[kind][cluster][phase]

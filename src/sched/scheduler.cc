@@ -28,11 +28,31 @@ toString(FailCause cause)
 const std::vector<NodeId> &
 SchedulerCache::order(const Ddg &ddg, const MachineConfig &mach)
 {
-    if (orderGen_ != ddg.generation()) {
+    if (orderGen_ != ddg.generation() || orderCfg_ != mach.id()) {
         order_ = smsOrder(ddg, mach, analyses);
         orderGen_ = ddg.generation();
+        orderCfg_ = mach.id();
     }
     return order_;
+}
+
+ReservationTables &
+SchedulerCache::tables(const MachineConfig &mach, int ii)
+{
+    // Tables hold a reference to their machine: reset in place only
+    // when the caller passes the *same object* again (same address
+    // AND same stamp - a copy shares the stamp but may outlive the
+    // original, and re-stamping reuses addresses). Anything else
+    // re-emplaces, which also rebinds the reference.
+    if (!tables_ || tablesCfg_ != mach.id() ||
+        tablesMach_ != &mach) {
+        tables_.emplace(mach, ii);
+        tablesCfg_ = mach.id();
+        tablesMach_ = &mach;
+    } else {
+        tables_->reset(ii);
+    }
+    return *tables_;
 }
 
 namespace
@@ -58,7 +78,7 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
 
     const NodeTimes &times = memo.analyses.times(ddg, mach);
     const auto &order = memo.order(ddg, mach);
-    ReservationTables tables(mach, ii);
+    ReservationTables &tables = memo.tables(mach, ii);
 
     // Effective per-edge latency, resolved once: the placement loop
     // and the sink pass read it once per (node, incident edge) visit,
@@ -106,9 +126,15 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
                                       ii * e.distance);
         }
 
+        // For copies the probe also yields the bus handle, so the
+        // commit below never re-scans the buses.
+        int probe_bus = -1;
         auto fits = [&](int t) {
-            return is_copy ? tables.canPlaceCopy(t)
-                           : tables.canPlaceOp(cluster, kind, t);
+            if (is_copy) {
+                probe_bus = tables.busFreeAt(t);
+                return probe_bus >= 0;
+            }
+            return tables.canPlaceOp(cluster, kind, t);
         };
 
         int chosen = intMin;
@@ -159,7 +185,8 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
         }
 
         if (is_copy)
-            attempt.sched.busOf[v] = tables.placeCopy(chosen);
+            attempt.sched.busOf[v] = tables.placeCopy(chosen,
+                                                      probe_bus);
         else
             tables.placeOp(cluster, kind, chosen);
         start[v] = chosen;
@@ -208,23 +235,34 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
             // Phases repeat with period II: scanning one II below
             // the upper bound suffices.
             int chosen = start[v];
+            int chosen_bus = -1;
             const long long floor_t =
                 std::max<long long>(start[v] + 1, late - ii + 1);
             for (long long t = late; t >= floor_t; --t) {
                 const int ti = static_cast<int>(t);
-                const bool ok = is_copy
-                                    ? tables.canPlaceCopy(ti)
-                                    : tables.canPlaceOp(cluster,
-                                                        kind, ti);
+                bool ok;
+                if (is_copy) {
+                    chosen_bus = tables.busFreeAt(ti);
+                    ok = chosen_bus >= 0;
+                } else {
+                    ok = tables.canPlaceOp(cluster, kind, ti);
+                }
                 if (ok) {
                     chosen = ti;
                     break;
                 }
             }
-            if (is_copy)
-                attempt.sched.busOf[v] = tables.placeCopy(chosen);
-            else
+            if (is_copy) {
+                // chosen_bus belongs to the scan hit; when no later
+                // slot fit, the copy goes back to its old cycle and
+                // the probe must be redone there.
+                attempt.sched.busOf[v] =
+                    chosen == start[v]
+                        ? tables.placeCopy(chosen)
+                        : tables.placeCopy(chosen, chosen_bus);
+            } else {
                 tables.placeOp(cluster, kind, chosen);
+            }
             start[v] = chosen;
         }
 

@@ -12,12 +12,14 @@
 #define CVLIW_SCHED_SCHEDULER_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ddg/analysis.hh"
 #include "ddg/ddg.hh"
 #include "partition/partition.hh"
+#include "sched/reservation.hh"
 
 namespace cvliw
 {
@@ -75,19 +77,36 @@ struct SchedulerOptions
  * depend on the graph (never on the II) - so attempts on an
  * unchanged graph reuse them wholesale, and even a single attempt
  * reuses the times and SCCs between the ordering and the placement
- * loop. Bound to one machine config, like AnalysisCache.
+ * loop. Entries carry the machine config's identity stamp, so one
+ * cache may serve several configs without stale reuse (like
+ * AnalysisCache). The reservation tables are also pooled here: every
+ * attempt resets them in place instead of reallocating.
  */
 struct SchedulerCache
 {
     AnalysisCache analyses;
 
-    /** Cached smsOrder(ddg, mach), keyed on ddg.generation(). */
+    /**
+     * Cached smsOrder(ddg, mach), keyed on (ddg.generation(),
+     * mach.id()).
+     */
     const std::vector<NodeId> &order(const Ddg &ddg,
                                      const MachineConfig &mach);
 
+    /**
+     * Pooled reservation tables, reset in place for each attempt.
+     * The returned reference is re-armed (empty, at @p ii) and valid
+     * until the next call.
+     */
+    ReservationTables &tables(const MachineConfig &mach, int ii);
+
   private:
     std::uint64_t orderGen_ = 0;
+    std::uint64_t orderCfg_ = 0;
     std::vector<NodeId> order_;
+    std::uint64_t tablesCfg_ = 0;
+    const MachineConfig *tablesMach_ = nullptr;
+    std::optional<ReservationTables> tables_;
 };
 
 /**

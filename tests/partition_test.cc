@@ -250,10 +250,11 @@ TEST(Refine, NeverWorsensTheMetric)
         Partition p(4, g.numNodeSlots());
         for (NodeId n : g.nodes())
             p.assign(n, 0);
-        const auto before = pseudoSchedule(g, m, p.vec(), ii);
+        PseudoScratch scratch;
+        const auto before = pseudoSchedule(g, m, p.vec(), ii, scratch);
         const Partition refined = refinePartition(g, m, p, ii);
         const auto after =
-            pseudoSchedule(g, m, refined.vec(), ii);
+            pseudoSchedule(g, m, refined.vec(), ii, scratch);
         EXPECT_FALSE(before.better(after));
     }
 }

@@ -23,9 +23,10 @@ TEST(Pseudo, BalancedPartitionIsFeasible)
     b.op("y", OpClass::FpAlu, {"x"});
     const Ddg g = b.take();
     const auto m = MachineConfig::fromString("2c1b2l64r");
+    PseudoScratch scratch;
 
     const std::vector<int> part{0, 0, 1, 1};
-    const auto r = pseudoSchedule(g, m, part, 1);
+    const auto r = pseudoSchedule(g, m, part, 1, scratch);
     EXPECT_EQ(r.comms, 0);
     EXPECT_EQ(r.overflow, 0);
     EXPECT_EQ(r.iiPart, 1);
@@ -39,12 +40,13 @@ TEST(Pseudo, ResourcePressureRaisesIiPart)
         b.op("ld" + std::to_string(i), OpClass::Load);
     const Ddg g = b.take();
     const auto m = MachineConfig::fromString("4c1b2l64r");
+    PseudoScratch scratch;
     // All four loads in one cluster with one memory port: IIpart 4.
     const std::vector<int> part{0, 0, 0, 0};
-    EXPECT_EQ(pseudoSchedule(g, m, part, 2).iiPart, 4);
+    EXPECT_EQ(pseudoSchedule(g, m, part, 2, scratch).iiPart, 4);
     // Spread out: IIpart 1 (one load per cluster).
     const std::vector<int> spread{0, 1, 2, 3};
-    EXPECT_EQ(pseudoSchedule(g, m, spread, 2).iiPart, 1);
+    EXPECT_EQ(pseudoSchedule(g, m, spread, 2, scratch).iiPart, 1);
 }
 
 TEST(Pseudo, BusPressureRaisesIiPart)
@@ -56,10 +58,11 @@ TEST(Pseudo, BusPressureRaisesIiPart)
     b.op("w", OpClass::IntAlu, {"p", "q", "r"});
     const Ddg g = b.take();
     const auto m = MachineConfig::fromString("4c1b2l64r");
+    PseudoScratch scratch;
     // Three producers remote from w: 3 comms, 1 bus of latency 2
     // -> bus-induced II 6.
     const std::vector<int> part{0, 1, 2, 3};
-    const auto r = pseudoSchedule(g, m, part, 2);
+    const auto r = pseudoSchedule(g, m, part, 2, scratch);
     EXPECT_EQ(r.comms, 3);
     EXPECT_EQ(r.iiPart, 6);
     EXPECT_GT(r.overflow, 0); // at II=2 only 1 comm fits
@@ -72,11 +75,12 @@ TEST(Pseudo, CutEdgesLengthenEstimate)
     b.op("z", OpClass::IntAlu, {"a"});   // lat 1
     const Ddg g = b.take();
     const auto m = MachineConfig::fromString("2c1b2l64r");
+    PseudoScratch scratch;
 
     const std::vector<int> together{0, 0};
     const std::vector<int> split{0, 1};
-    const auto r0 = pseudoSchedule(g, m, together, 2);
-    const auto r1 = pseudoSchedule(g, m, split, 2);
+    const auto r0 = pseudoSchedule(g, m, together, 2, scratch);
+    const auto r1 = pseudoSchedule(g, m, split, 2, scratch);
     EXPECT_EQ(r0.length, 2);
     EXPECT_EQ(r1.length, 4); // + 2-cycle bus on the cut edge
 }
@@ -117,8 +121,9 @@ TEST(Pseudo, ImbalanceMeasured)
     b.op("d", OpClass::IntAlu);
     const Ddg g = b.take();
     const auto m = MachineConfig::fromString("2c1b2l64r");
-    EXPECT_EQ(pseudoSchedule(g, m, {0, 0, 0}, 2).imbalance, 3);
-    EXPECT_EQ(pseudoSchedule(g, m, {0, 0, 1}, 2).imbalance, 1);
+    PseudoScratch scratch;
+    EXPECT_EQ(pseudoSchedule(g, m, {0, 0, 0}, 2, scratch).imbalance, 3);
+    EXPECT_EQ(pseudoSchedule(g, m, {0, 0, 1}, 2, scratch).imbalance, 1);
 }
 
 } // namespace

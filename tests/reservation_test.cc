@@ -13,6 +13,70 @@ namespace cvliw
 namespace
 {
 
+TEST(Reservation, ResetClearsAndResizesInPlace)
+{
+    const auto m = MachineConfig::fromString("2c2b2l64r");
+    ReservationTables t(m, 4);
+    t.placeOp(0, ResourceKind::IntFu, 1);
+    t.placeOp(1, ResourceKind::MemPort, 3);
+    t.placeCopy(0);
+    t.placeCopy(0);
+    EXPECT_FALSE(t.canPlaceCopy(0));
+
+    // Shrink: everything cleared, II switched.
+    t.reset(2);
+    EXPECT_EQ(t.ii(), 2);
+    EXPECT_EQ(t.opCount(0, ResourceKind::IntFu, 1), 0);
+    EXPECT_EQ(t.opCount(1, ResourceKind::MemPort, 1), 0);
+    EXPECT_TRUE(t.canPlaceCopy(0));
+    EXPECT_EQ(t.placeCopy(0), 0);
+    EXPECT_EQ(t.placeCopy(0), 1);
+    EXPECT_FALSE(t.canPlaceCopy(0));
+
+    // Grow past the original capacity.
+    t.reset(6);
+    EXPECT_EQ(t.ii(), 6);
+    for (int ph = 0; ph < 6; ++ph)
+        EXPECT_EQ(t.opCount(0, ResourceKind::IntFu, ph), 0);
+    EXPECT_TRUE(t.canPlaceCopy(4)); // phases 4,5 exist and are free
+    t.placeCopy(4);
+    EXPECT_TRUE(t.canPlaceCopy(4)); // second bus still free
+    t.placeCopy(4);
+    EXPECT_FALSE(t.canPlaceCopy(4));
+
+    // A reset table behaves like a freshly built one.
+    ReservationTables fresh(m, 6);
+    fresh.placeCopy(4);
+    fresh.placeCopy(4);
+    for (int ph = 0; ph < 6; ++ph)
+        EXPECT_EQ(t.canPlaceCopy(ph), fresh.canPlaceCopy(ph));
+}
+
+TEST(Reservation, ProbeReturnsBusHandleForO1Placement)
+{
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    ReservationTables t(m, 4);
+
+    const int b0 = t.busFreeAt(0);
+    EXPECT_EQ(b0, 0);
+    EXPECT_EQ(t.placeCopy(0, b0), 0);
+
+    // The probe now reports the second bus; committing the handle
+    // occupies it without rescanning.
+    const int b1 = t.busFreeAt(0);
+    EXPECT_EQ(b1, 1);
+    EXPECT_EQ(t.placeCopy(0, b1), 1);
+    EXPECT_EQ(t.busFreeAt(0), -1);
+    EXPECT_FALSE(t.canPlaceCopy(0));
+
+    // Unaligned or boundary-crossing starts never yield a handle.
+    EXPECT_EQ(t.busFreeAt(1), -1);
+    EXPECT_EQ(t.busFreeAt(3), -1);
+
+    t.removeCopy(1, 0);
+    EXPECT_EQ(t.busFreeAt(0), 1);
+}
+
 TEST(Reservation, PhaseWrapsNegatives)
 {
     const auto m = MachineConfig::fromString("2c1b2l64r");
