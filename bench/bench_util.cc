@@ -5,6 +5,7 @@
 
 #include "support/strutil.hh"
 #include "support/table.hh"
+#include "workloads/suite_io.hh"
 
 namespace cvliw
 {
@@ -14,7 +15,7 @@ namespace benchutil
 const std::vector<Loop> &
 suite()
 {
-    static const std::vector<Loop> loops = buildSuite(42);
+    static const std::vector<Loop> loops = loadOrBuildSuite(42);
     return loops;
 }
 
@@ -29,27 +30,29 @@ benchmarkLoops(const std::string &name)
     return out;
 }
 
-int
-threads()
+CompileService &
+service()
 {
-    if (const char *env = std::getenv("CVLIW_THREADS"))
-        return std::max(1, std::atoi(env));
-    return 0; // hardware concurrency
+    // The process-wide pool (already sized by CVLIW_THREADS, then
+    // core count): per-worker caches survive every sweep the binary
+    // runs, and no second pool is spawned for code that also reaches
+    // the shared service via runSuite.
+    return CompileService::shared();
 }
 
 SuiteResult
 run(const std::string &config, const PipelineOptions &opts)
 {
-    return runSuite(suite(), MachineConfig::fromString(config), opts,
-                    threads());
+    return service().compileSuite(
+        suite(), MachineConfig::fromString(config), opts);
 }
 
 SuiteResult
 run(const std::vector<Loop> &loops, const std::string &config,
     const PipelineOptions &opts)
 {
-    return runSuite(loops, MachineConfig::fromString(config), opts,
-                    threads());
+    return service().compileSuite(
+        loops, MachineConfig::fromString(config), opts);
 }
 
 const std::vector<std::string> &

@@ -5,6 +5,12 @@
  * Every bench prints (a) the measured numbers and (b) the
  * corresponding claim from the paper, so EXPERIMENTS.md can record
  * paper-vs-measured directly from the output.
+ *
+ * All sweeps run on the process-wide `CompileService` pool
+ * (eval/service.hh), so per-worker caches stay warm across the many
+ * config sweeps a figure bench performs, and the suite itself comes
+ * from the build-generated cache file when present
+ * (workloads/suite_io.hh) instead of being regenerated per process.
  */
 
 #ifndef CVLIW_BENCH_BENCH_UTIL_HH
@@ -14,20 +20,24 @@
 #include <vector>
 
 #include "eval/runner.hh"
+#include "eval/service.hh"
 
 namespace cvliw
 {
 namespace benchutil
 {
 
-/** The full suite, built once per process (seed 42). */
+/** The full suite (seed 42), loaded from the cache or built once. */
 const std::vector<Loop> &suite();
 
 /** Loops of a single benchmark (view into suite()). */
 std::vector<Loop> benchmarkLoops(const std::string &name);
 
-/** Worker threads (env CVLIW_THREADS overrides the core count). */
-int threads();
+/**
+ * The compile pool every bench sweep runs on (the process-wide
+ * shared service; env CVLIW_THREADS overrides its worker count).
+ */
+CompileService &service();
 
 /** Run the whole suite on @p config with @p opts. */
 SuiteResult run(const std::string &config,

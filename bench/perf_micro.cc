@@ -12,17 +12,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <thread>
 
 #include "core/pipeline.hh"
 #include "core/replicator.hh"
 #include "ddg/analysis.hh"
+#include "eval/service.hh"
 #include "partition/multilevel.hh"
 #include "partition/refine.hh"
 #include "sched/copies.hh"
 #include "sched/mii.hh"
 #include "sched/scheduler.hh"
 #include "workloads/suite.hh"
+#include "workloads/suite_io.hh"
 
 namespace
 {
@@ -32,7 +38,7 @@ using namespace cvliw;
 const std::vector<Loop> &
 suite()
 {
-    static const std::vector<Loop> s = buildSuite(42);
+    static const std::vector<Loop> s = loadOrBuildSuite(42);
     return s;
 }
 
@@ -254,6 +260,77 @@ BM_SuiteGeneration(benchmark::State &state)
         benchmark::DoNotOptimize(buildSuite(42));
 }
 BENCHMARK(BM_SuiteGeneration);
+
+/**
+ * loadSuite vs BM_SuiteGeneration: what every binary saves per
+ * process by reading the build-generated suite cache instead of
+ * regenerating 678 loops (multi-core machines also parse records in
+ * parallel via the offset table).
+ */
+void
+BM_SuiteLoad(benchmark::State &state)
+{
+    // PID-suffixed so concurrent perf_micro runs (baseline vs head
+    // builds) never truncate each other's file mid-load.
+    const std::string path = "/tmp/cvliw_perf_suite." +
+                             std::to_string(::getpid()) + ".cvsuite";
+    saveSuite(suite(), path, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(loadSuite(path));
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_SuiteLoad);
+
+/**
+ * CompileService batch throughput: the whole suite compiled for one
+ * config on a persistent pool with long-lived per-worker caches.
+ * Arg = worker count (0 = hardware concurrency); compare Arg(1)
+ * against Arg(0) for the multi-worker speedup. Results are
+ * bit-identical for every worker count (tests/service_test.cc).
+ */
+void
+BM_BatchCompile(benchmark::State &state)
+{
+    const auto &loops = suite();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    int workers = static_cast<int>(state.range(0));
+    if (workers == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        workers = hw ? static_cast<int>(hw) : 1;
+    }
+    CompileService service(workers);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(service.compileSuite(loops, m));
+    state.SetLabel(std::to_string(workers) + " workers, " +
+                   std::to_string(loops.size()) + " loops");
+}
+BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(0)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The heavy-traffic shape: many configs x many loops in one batch,
+ * crossing config boundaries without a barrier.
+ */
+void
+BM_BatchCompileMultiConfig(benchmark::State &state)
+{
+    std::vector<Loop> loops;
+    for (std::size_t i = 0; i < suite().size(); i += 4)
+        loops.push_back(suite()[i]);
+    const std::vector<MachineConfig> machs = {
+        MachineConfig::fromString("2c1b2l64r"),
+        MachineConfig::fromString("4c2b2l64r"),
+        MachineConfig::fromString("4c2b4l64r"),
+    };
+    CompileService service;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(service.compileSuite(loops, machs));
+    state.SetLabel(std::to_string(service.numWorkers()) +
+                   " workers, " + std::to_string(loops.size()) +
+                   " loops x 3 configs");
+}
+BENCHMARK(BM_BatchCompileMultiConfig)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

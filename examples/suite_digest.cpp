@@ -7,91 +7,39 @@
  * (II, schedule, partition, replication stats). Two builds that print
  * the same digests produce bit-identical compilation results on the
  * whole suite - the check the perf PRs use to prove a refactor
- * changed no decisions.
+ * changed no decisions. The digest itself lives in eval/digest.hh
+ * (shared with tests/digest_test.cc, which pins these values in CI);
+ * compilation runs on the CompileService pool, whose results are
+ * deterministic for any worker count.
  *
  * Usage: suite_digest [seed]   (default seed 42, the suite default)
  */
 
-#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 
-#include "core/pipeline.hh"
-#include "workloads/suite.hh"
-
-namespace
-{
-
-using namespace cvliw;
-
-struct Fnv
-{
-    std::uint64_t h = 1469598103934665603ull;
-
-    void mix(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h ^= (v >> (8 * i)) & 0xff;
-            h *= 1099511628211ull;
-        }
-    }
-
-    void mix(int v) { mix(static_cast<std::uint64_t>(v)); }
-
-    void mix(const std::vector<int> &vs)
-    {
-        mix(vs.size());
-        for (int v : vs)
-            mix(v);
-    }
-};
-
-void
-digestResult(Fnv &f, const CompileResult &r)
-{
-    f.mix(r.ok ? 1 : 0);
-    if (!r.ok)
-        return;
-    f.mix(r.ii);
-    f.mix(r.mii);
-    f.mix(r.spills);
-    f.mix(r.comsFinal);
-    f.mix(r.usefulOps);
-    f.mix(r.lengthSaved);
-    f.mix(r.schedule.length);
-    f.mix(r.schedule.stageCount);
-    f.mix(r.schedule.start);
-    f.mix(r.schedule.busOf);
-    f.mix(r.schedule.maxLive);
-    f.mix(r.partition.vec());
-    f.mix(r.repl.comsInitial);
-    f.mix(r.repl.comsRemoved);
-    f.mix(r.repl.replicasAdded);
-    f.mix(r.repl.instructionsRemoved);
-    f.mix(static_cast<int>(r.iiIncreases.size()));
-    for (FailCause c : r.iiIncreases)
-        f.mix(static_cast<int>(c));
-}
-
-} // namespace
+#include "eval/digest.hh"
+#include "eval/service.hh"
+#include "workloads/suite_io.hh"
 
 int
 main(int argc, char **argv)
 {
+    using namespace cvliw;
+
     const std::uint64_t seed =
         argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
-    const auto suite = buildSuite(seed);
+    const auto suite = loadOrBuildSuite(seed);
 
     const char *configs[] = {"2c1b2l64r", "4c2b2l64r", "4c2b4l64r"};
-    Fnv all;
+    ResultDigest all;
     for (const char *cfg : configs) {
         const auto m = MachineConfig::fromString(cfg);
-        Fnv f;
-        for (const Loop &loop : suite)
-            digestResult(f, compile(loop.ddg, m));
-        std::cout << cfg << " " << std::hex << f.h << std::dec
-                  << "\n";
-        all.mix(f.h);
+        const SuiteResult results =
+            CompileService::shared().compileSuite(suite, m);
+        const std::uint64_t h = digestSuiteResult(results);
+        std::cout << cfg << " " << std::hex << h << std::dec << "\n";
+        all.mix(h);
     }
     std::cout << "combined " << std::hex << all.h << std::dec << "\n";
     return 0;

@@ -88,6 +88,7 @@ reduceScheduleLength(CompileResult &result, const Ddg &pre_copy,
 
     Ddg best_pre = pre_copy;
     Partition best_part = pre_copy_part;
+    SubgraphScratch sg_scratch; // reused across the trial attempts
 
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
         NodeId producer = invalidNode;
@@ -104,7 +105,7 @@ reduceScheduleLength(CompileResult &result, const Ddg &pre_copy,
         ReplicationStats rstats;
         if (!replicateIntoCluster(trial, trial_part, mach,
                                   result.ii, producer, cluster,
-                                  &rstats)) {
+                                  &rstats, &sg_scratch)) {
             return;
         }
 

@@ -62,13 +62,22 @@ CompileResult
 compile(const Ddg &original, const MachineConfig &mach,
         const PipelineOptions &opts)
 {
+    CompileCaches caches;
+    return compile(original, mach, opts, caches);
+}
+
+CompileResult
+compile(const Ddg &original, const MachineConfig &mach,
+        const PipelineOptions &opts, CompileCaches &caches)
+{
     CompileResult result;
     result.mii = minimumIi(original, mach);
     result.usefulOps = original.numNodes();
 
     // One scratch across the initial partition and every per-II
-    // refinement: buffers and the topo memo survive II bumps.
-    PseudoScratch pseudo_scratch;
+    // refinement: buffers and the topo memo survive II bumps - and,
+    // when the caller hands in long-lived caches, whole compiles.
+    PseudoScratch &pseudo_scratch = caches.pseudo;
 
     PartitionResult pr = multilevelPartition(original, mach,
                                              result.mii,
@@ -82,7 +91,7 @@ compile(const Ddg &original, const MachineConfig &mach,
     // where no replication or copy insertion ever edits the work
     // copy) reuse the SMS order, node times and topological order
     // wholesale.
-    SchedulerCache sched_cache;
+    SchedulerCache &sched_cache = caches.sched;
 
     int reg_stagnation = 0;
     int best_worst_live = std::numeric_limits<int>::max();
@@ -108,7 +117,7 @@ compile(const Ddg &original, const MachineConfig &mach,
             if (opts.replication) {
                 repl_ok = reduceCommunications(
                     work, part, mach, ii, &rstats, opts.mode,
-                    &pr.hierarchy);
+                    &pr.hierarchy, &caches.subgraph);
             } else {
                 rstats.comsInitial =
                     findCommunications(work, part.vec()).count();

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/replicator.hh"
+#include "sched/pseudo.hh"
 #include "sched/scheduler.hh"
 
 namespace cvliw
@@ -81,11 +82,43 @@ struct CompileResult
 };
 
 /**
+ * Long-lived scratch and memo state for one compile worker. The
+ * pipeline allocates all of its reusable buffers here, so a caller
+ * that compiles many loops (the suite runner, `CompileService`)
+ * amortizes every allocation across jobs instead of paying it per
+ * compile. Safe to reuse across arbitrary graphs *and* machine
+ * configs: every memo inside is keyed on (`Ddg::generation()`,
+ * `MachineConfig::id()`), so a cache hit can never surface a result
+ * computed for a different graph or machine. One instance serves one
+ * thread; results are bit-identical whether a cache is fresh or has
+ * served a thousand other jobs.
+ */
+struct CompileCaches
+{
+    /** Partition-refinement scratch + analysis memo. */
+    PseudoScratch pseudo;
+
+    /** Scheduler memo (SMS order, times, pooled reservation tables). */
+    SchedulerCache sched;
+
+    /** Replication subgraph-walk buffers. */
+    SubgraphScratch subgraph;
+};
+
+/**
  * Compile @p original for @p mach.
  * The input graph is copied; the caller's DDG is never modified.
  */
 CompileResult compile(const Ddg &original, const MachineConfig &mach,
                       const PipelineOptions &opts = {});
+
+/**
+ * Compile reusing @p caches (see CompileCaches). Bit-identical to the
+ * cache-less overload for any cache state.
+ */
+CompileResult compile(const Ddg &original, const MachineConfig &mach,
+                      const PipelineOptions &opts,
+                      CompileCaches &caches);
 
 } // namespace cvliw
 

@@ -290,7 +290,8 @@ bool
 reduceCommunications(Ddg &ddg, Partition &part,
                      const MachineConfig &mach, int ii,
                      ReplicationStats *stats, ReplicationMode mode,
-                     const CoarseningHierarchy *hier)
+                     const CoarseningHierarchy *hier,
+                     SubgraphScratch *scratch)
 {
     if (mach.isUnified())
         return true;
@@ -315,6 +316,11 @@ reduceCommunications(Ddg &ddg, Partition &part,
     const bool macro_mode = mode == ReplicationMode::MacroNode &&
                             hier && hier->numLevels() > 1;
 
+    // One walk scratch for (at least) the whole pass: the pool
+    // rebuilds below walk a subgraph per candidate per round.
+    SubgraphScratch local_scratch;
+    SubgraphScratch &sg_scratch = scratch ? *scratch : local_scratch;
+
     auto buildSubgraph = [&](NodeId com) {
         std::vector<NodeId> seeds;
         if (macro_mode) {
@@ -325,8 +331,9 @@ reduceCommunications(Ddg &ddg, Partition &part,
                     seeds.push_back(m);
             }
         }
-        return findReplicationSubgraph(
-            ddg, part, com, comms.communicated, index, seeds);
+        return findReplicationSubgraph(ddg, part, com,
+                                       comms.communicated, index,
+                                       seeds, {}, &sg_scratch);
     };
 
     std::vector<ReplicationSubgraph> pool; // NodeId-ordered, = producers
@@ -503,7 +510,7 @@ bool
 replicateIntoCluster(Ddg &ddg, Partition &part,
                      const MachineConfig &mach, int ii,
                      NodeId producer, int cluster,
-                     ReplicationStats *stats)
+                     ReplicationStats *stats, SubgraphScratch *scratch)
 {
     if (part.clusterOf(producer) == cluster)
         return false;
@@ -514,7 +521,8 @@ replicateIntoCluster(Ddg &ddg, Partition &part,
         return false;
 
     const ReplicationSubgraph sg = findReplicationSubgraph(
-        ddg, part, producer, comms.communicated, index, {}, {cluster});
+        ddg, part, producer, comms.communicated, index, {}, {cluster},
+        scratch);
     if (!replicationFeasible(ddg, mach, part, ii, sg))
         return false;
 

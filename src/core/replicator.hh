@@ -46,6 +46,10 @@ enum class ReplicationMode : std::uint8_t
  * @param stats optional statistics sink
  * @param mode subgraph selection mode
  * @param hier coarsening hierarchy (required for MacroNode mode)
+ * @param scratch reusable subgraph-walk buffers; the pipeline passes
+ *        its per-worker scratch so II retries (and, via
+ *        CompileCaches, whole compiles) stop allocating per walk.
+ *        Null uses a pass-local scratch.
  * @return true when extra_coms reached zero; false when no feasible
  *         replication remains (the caller must raise the II)
  */
@@ -54,7 +58,8 @@ bool reduceCommunications(Ddg &ddg, Partition &part,
                           ReplicationStats *stats = nullptr,
                           ReplicationMode mode =
                               ReplicationMode::MinWeight,
-                          const CoarseningHierarchy *hier = nullptr);
+                          const CoarseningHierarchy *hier = nullptr,
+                          SubgraphScratch *scratch = nullptr);
 
 /**
  * Replicate the value of @p producer into @p cluster without removing
@@ -63,12 +68,14 @@ bool reduceCommunications(Ddg &ddg, Partition &part,
  * @p cluster are rewired to the local replica; consumers elsewhere
  * keep using the bus.
  *
+ * @param scratch reusable subgraph-walk buffers (null = call-local)
  * @return true when the replication was applied
  */
 bool replicateIntoCluster(Ddg &ddg, Partition &part,
                           const MachineConfig &mach, int ii,
                           NodeId producer, int cluster,
-                          ReplicationStats *stats = nullptr);
+                          ReplicationStats *stats = nullptr,
+                          SubgraphScratch *scratch = nullptr);
 
 /**
  * Global dead-code sweep: every value-producing instruction that

@@ -58,8 +58,12 @@ findReplicationSubgraph(const Ddg &ddg, const Partition &part,
                         const std::vector<bool> &communicated,
                         const ReplicaIndex &index,
                         const std::vector<NodeId> &extra_seeds,
-                        const std::vector<int> &target_override)
+                        const std::vector<int> &target_override,
+                        SubgraphScratch *scratch)
 {
+    SubgraphScratch local;
+    SubgraphScratch &s = scratch ? *scratch : local;
+
     ReplicationSubgraph sg;
     sg.com = com;
     const NodeId com_sem = ddg.node(com).semanticId;
@@ -85,29 +89,34 @@ findReplicationSubgraph(const Ddg &ddg, const Partition &part,
     // Per target cluster: walk parents (Figure 4). A parent is
     // skipped when its value is communicated (available via the bus
     // broadcast) or when an instance already lives in the target.
+    // The flag arrays and worklist live in the scratch: reset keeps
+    // their capacity, so steady-state walks allocate nothing.
     for (int t : sg.targetClusters) {
-        std::vector<NodeId> worklist;
-        std::vector<bool> visited(ddg.numNodeSlots(), false);
-        std::vector<bool> required_here(ddg.numNodeSlots(), false);
+        std::vector<NodeId> &worklist = s.worklist_;
+        std::vector<char> &visited = s.visited_;
+        std::vector<char> &required_here = s.requiredHere_;
+        worklist.clear();
+        visited.assign(ddg.numNodeSlots(), 0);
+        required_here.assign(ddg.numNodeSlots(), 0);
 
-        auto seed = [&](NodeId s) {
-            if (visited[s])
+        auto seed = [&](NodeId n) {
+            if (visited[n])
                 return;
-            visited[s] = true;
-            if (!index.hasInstance(ddg.node(s).semanticId, t)) {
-                sg.required[s].push_back(t);
-                required_here[s] = true;
+            visited[n] = 1;
+            if (!index.hasInstance(ddg.node(n).semanticId, t)) {
+                sg.required[n].push_back(t);
+                required_here[n] = 1;
             }
-            worklist.push_back(s);
+            worklist.push_back(n);
         };
         seed(com);
-        for (NodeId s : extra_seeds) {
-            const DdgNode &sn = ddg.node(s);
+        for (NodeId n : extra_seeds) {
+            const DdgNode &sn = ddg.node(n);
             if (sn.cls == OpClass::Store)
                 continue; // stores are never replicated
-            if (communicated[s] && sn.semanticId != com_sem)
+            if (communicated[n] && sn.semanticId != com_sem)
                 continue; // has its own subgraph
-            seed(s);
+            seed(n);
         }
 
         while (!worklist.empty()) {
@@ -124,12 +133,12 @@ findReplicationSubgraph(const Ddg &ddg, const Partition &part,
                     ddg.node(p).semanticId != com_sem) {
                     continue; // broadcast makes it available
                 }
-                visited[p] = true;
+                visited[p] = 1;
                 cv_assert(ddg.node(p).cls != OpClass::Store,
                           "store as flow producer");
                 if (!index.hasInstance(ddg.node(p).semanticId, t)) {
                     sg.required[p].push_back(t);
-                    required_here[p] = true;
+                    required_here[p] = 1;
                 }
                 worklist.push_back(p);
             }

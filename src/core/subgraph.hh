@@ -99,6 +99,33 @@ struct ReplicationSubgraph
 };
 
 /**
+ * Reusable buffers for findReplicationSubgraph's upward walk: the
+ * per-target-cluster visited / needs-a-new-replica flags and the
+ * worklist, all node-sized. The replication pass walks subgraphs for
+ * every pooled candidate every round, so these allocations dominate
+ * without reuse (the `PseudoScratch` pattern: one instance per
+ * worker, rebound per call, buffers keep their capacity). A
+ * default-constructed scratch works for any graph; passing none
+ * falls back to a call-local one.
+ */
+class SubgraphScratch
+{
+  public:
+    SubgraphScratch() = default;
+
+  private:
+    friend ReplicationSubgraph findReplicationSubgraph(
+        const Ddg &, const Partition &, NodeId,
+        const std::vector<bool> &, const ReplicaIndex &,
+        const std::vector<NodeId> &, const std::vector<int> &,
+        SubgraphScratch *);
+
+    std::vector<char> visited_;
+    std::vector<char> requiredHere_;
+    std::vector<NodeId> worklist_;
+};
+
+/**
  * Compute the replication subgraph of @p com (Figure 4, extended
  * with the per-cluster instance checks of section 3.4).
  *
@@ -112,6 +139,7 @@ struct ReplicationSubgraph
  * @param target_override when non-empty, replicate toward exactly
  *        these clusters instead of all consumer clusters (used by the
  *        section-5.1 schedule-length variant)
+ * @param scratch reusable buffers; null uses a call-local scratch
  */
 ReplicationSubgraph
 findReplicationSubgraph(const Ddg &ddg, const Partition &part,
@@ -119,7 +147,8 @@ findReplicationSubgraph(const Ddg &ddg, const Partition &part,
                         const std::vector<bool> &communicated,
                         const ReplicaIndex &index,
                         const std::vector<NodeId> &extra_seeds = {},
-                        const std::vector<int> &target_override = {});
+                        const std::vector<int> &target_override = {},
+                        SubgraphScratch *scratch = nullptr);
 
 } // namespace cvliw
 

@@ -17,6 +17,64 @@ Ddg::freshGeneration()
     return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+Ddg
+Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges)
+{
+    Ddg g;
+    g.nodes_ = std::move(nodes);
+    g.edges_ = std::move(edges);
+
+    const int node_slots = g.numNodeSlots();
+    g.liveNodes_ = 0;
+    for (int i = 0; i < node_slots; ++i) {
+        DdgNode &n = g.nodes_[i];
+        n.id = i;
+        cv_assert(n.in.empty() && n.out.empty(),
+                  "fromSlots derives adjacency itself");
+        cv_assert(n.semanticId >= 0 && n.semanticId < node_slots,
+                  "semantic id outside the node array");
+        if (n.alive)
+            ++g.liveNodes_;
+    }
+
+    // Exact adjacency sizing: count degrees (dead edges included -
+    // tombstoned edge ids stay in the lists, the views skip them),
+    // then fill in edge-id order.
+    std::vector<int> in_deg(node_slots, 0), out_deg(node_slots, 0);
+    g.liveEdges_ = 0;
+    for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+        DdgEdge &e = g.edges_[i];
+        e.id = static_cast<EdgeId>(i);
+        cv_assert(e.src >= 0 && e.src < node_slots && e.dst >= 0 &&
+                      e.dst < node_slots,
+                  "edge endpoint outside the node array");
+        cv_assert(e.distance >= 0, "edge distance must be >= 0");
+        if (e.alive) {
+            cv_assert(g.nodes_[e.src].alive && g.nodes_[e.dst].alive,
+                      "live edge on a dead node");
+            if (e.kind == EdgeKind::RegFlow) {
+                cv_assert(producesValue(g.nodes_[e.src].cls),
+                          "flow edge from non-value-producing op ",
+                          g.nodes_[e.src].label);
+            }
+            ++g.liveEdges_;
+        }
+        ++out_deg[e.src];
+        ++in_deg[e.dst];
+    }
+    for (int i = 0; i < node_slots; ++i) {
+        g.nodes_[i].in.reserve(in_deg[i]);
+        g.nodes_[i].out.reserve(out_deg[i]);
+    }
+    for (const DdgEdge &e : g.edges_) {
+        g.nodes_[e.src].out.push_back(e.id);
+        g.nodes_[e.dst].in.push_back(e.id);
+    }
+    // One fresh stamp for the whole load (the constructor already
+    // produced one; bulk loading is a single structural mutation).
+    return g;
+}
+
 NodeId
 Ddg::addNode(OpClass cls, std::string label)
 {
@@ -36,9 +94,13 @@ NodeId
 Ddg::addReplica(NodeId original, const std::string &label_suffix)
 {
     checkNode(original);
-    const DdgNode &orig = node(original);
-    NodeId id = addNode(orig.cls, orig.label + label_suffix);
-    nodes_[id].semanticId = orig.semanticId;
+    // Copy before addNode: push_back may reallocate nodes_, so a
+    // reference into it would dangle across the call.
+    const OpClass cls = nodes_[original].cls;
+    const NodeId semantic = nodes_[original].semanticId;
+    std::string label = nodes_[original].label + label_suffix;
+    const NodeId id = addNode(cls, std::move(label));
+    nodes_[id].semanticId = semantic;
     nodes_[id].isReplica = true;
     return id;
 }

@@ -118,196 +118,47 @@ struct DdgNode
     std::vector<EdgeId> in;  //!< incoming edge ids
 };
 
+namespace detail
+{
+
 /**
- * Forward range over the live ids of a dense tombstoned entity array
- * (nodes_ or edges_). Allocation-free: iteration skips dead slots in
- * place.
+ * The one skip-filtering forward range behind every traversal view.
+ * A `Policy` describes a raw position space plus what to keep and
+ * what each kept position yields:
+ *
+ *  - `value_type`                        - element type produced
+ *  - `std::size_t limit() const`         - one past the last position
+ *  - `bool admit(std::size_t) const`     - keep this position?
+ *  - `value_type project(std::size_t) const` - element at a position
+ *
+ * The range and its iterators hold the policy by value (policies are
+ * a couple of pointers), skip rejected positions in place and never
+ * allocate. Concrete views (`LiveIdRange`, `LiveAdjRange`,
+ * `FlowNeighborRange`) are thin policy bindings over this template.
  */
-template <typename Entity, typename Id>
-class LiveIdRange
+template <typename Policy>
+class SkipFilterRange
 {
   public:
+    using value_type = typename Policy::value_type;
+
     class iterator
     {
       public:
         using iterator_category = std::forward_iterator_tag;
-        using value_type = Id;
+        using value_type = typename Policy::value_type;
         using difference_type = std::ptrdiff_t;
-        using pointer = const Id *;
-        using reference = Id;
+        using pointer = const value_type *;
+        using reference = value_type;
 
         iterator() = default;
-        iterator(const std::vector<Entity> &arr, std::size_t i)
-            : arr_(&arr), i_(i)
-        {
-            skipDead();
-        }
-
-        Id operator*() const { return static_cast<Id>(i_); }
-        iterator &operator++()
-        {
-            ++i_;
-            skipDead();
-            return *this;
-        }
-        iterator operator++(int)
-        {
-            iterator t = *this;
-            ++*this;
-            return t;
-        }
-        bool operator==(const iterator &o) const { return i_ == o.i_; }
-        bool operator!=(const iterator &o) const { return i_ != o.i_; }
-
-      private:
-        void skipDead()
-        {
-            while (i_ < arr_->size() && !(*arr_)[i_].alive)
-                ++i_;
-        }
-
-        const std::vector<Entity> *arr_ = nullptr;
-        std::size_t i_ = 0;
-    };
-
-    explicit LiveIdRange(const std::vector<Entity> &arr) : arr_(&arr) {}
-
-    iterator begin() const { return iterator(*arr_, 0); }
-    iterator end() const { return iterator(*arr_, arr_->size()); }
-    bool empty() const { return begin() == end(); }
-
-    /** Materialize (for callers that need ownership, e.g. tests). */
-    std::vector<Id> toVector() const
-    {
-        return std::vector<Id>(begin(), end());
-    }
-
-  private:
-    const std::vector<Entity> *arr_;
-};
-
-using LiveNodeRange = LiveIdRange<DdgNode, NodeId>;
-using LiveEdgeRange = LiveIdRange<DdgEdge, EdgeId>;
-
-/**
- * Forward range over the live edge ids of one node's adjacency list
- * (`DdgNode::in` or `DdgNode::out`), skipping tombstoned edges in
- * place without allocating.
- */
-class LiveAdjRange
-{
-  public:
-    class iterator
-    {
-      public:
-        using iterator_category = std::forward_iterator_tag;
-        using value_type = EdgeId;
-        using difference_type = std::ptrdiff_t;
-        using pointer = const EdgeId *;
-        using reference = EdgeId;
-
-        iterator() = default;
-        iterator(const std::vector<EdgeId> &list,
-                 const std::vector<DdgEdge> &edges, std::size_t i)
-            : list_(&list), edges_(&edges), i_(i)
-        {
-            skipDead();
-        }
-
-        EdgeId operator*() const { return (*list_)[i_]; }
-        iterator &operator++()
-        {
-            ++i_;
-            skipDead();
-            return *this;
-        }
-        iterator operator++(int)
-        {
-            iterator t = *this;
-            ++*this;
-            return t;
-        }
-        bool operator==(const iterator &o) const { return i_ == o.i_; }
-        bool operator!=(const iterator &o) const { return i_ != o.i_; }
-
-      private:
-        void skipDead()
-        {
-            while (i_ < list_->size() &&
-                   !(*edges_)[(*list_)[i_]].alive) {
-                ++i_;
-            }
-        }
-
-        const std::vector<EdgeId> *list_ = nullptr;
-        const std::vector<DdgEdge> *edges_ = nullptr;
-        std::size_t i_ = 0;
-    };
-
-    LiveAdjRange(const std::vector<EdgeId> &list,
-                 const std::vector<DdgEdge> &edges)
-        : list_(&list), edges_(&edges)
-    {
-    }
-
-    iterator begin() const { return iterator(*list_, *edges_, 0); }
-    iterator end() const
-    {
-        return iterator(*list_, *edges_, list_->size());
-    }
-    bool empty() const { return begin() == end(); }
-
-    /** Number of live edges; O(list length). */
-    std::size_t size() const
-    {
-        std::size_t n = 0;
-        for (auto it = begin(); it != end(); ++it)
-            ++n;
-        return n;
-    }
-
-    std::vector<EdgeId> toVector() const
-    {
-        return std::vector<EdgeId>(begin(), end());
-    }
-
-  private:
-    const std::vector<EdgeId> *list_;
-    const std::vector<DdgEdge> *edges_;
-};
-
-/**
- * Forward range over the register-flow neighbours of one node: the
- * producers feeding it (`src` side of its in-list) or the consumers
- * reading it (`dst` side of its out-list). Skips tombstoned and
- * non-RegFlow edges in place.
- */
-class FlowNeighborRange
-{
-  public:
-    class iterator
-    {
-      public:
-        using iterator_category = std::forward_iterator_tag;
-        using value_type = NodeId;
-        using difference_type = std::ptrdiff_t;
-        using pointer = const NodeId *;
-        using reference = NodeId;
-
-        iterator() = default;
-        iterator(const std::vector<EdgeId> &list,
-                 const std::vector<DdgEdge> &edges, std::size_t i,
-                 bool src_side)
-            : list_(&list), edges_(&edges), i_(i), srcSide_(src_side)
+        iterator(const Policy &policy, std::size_t i)
+            : policy_(policy), i_(i)
         {
             skip();
         }
 
-        NodeId operator*() const
-        {
-            const DdgEdge &e = (*edges_)[(*list_)[i_]];
-            return srcSide_ ? e.src : e.dst;
-        }
+        value_type operator*() const { return policy_.project(i_); }
         iterator &operator++()
         {
             ++i_;
@@ -326,37 +177,21 @@ class FlowNeighborRange
       private:
         void skip()
         {
-            while (i_ < list_->size()) {
-                const DdgEdge &e = (*edges_)[(*list_)[i_]];
-                if (e.alive && e.kind == EdgeKind::RegFlow)
-                    break;
+            while (i_ < policy_.limit() && !policy_.admit(i_))
                 ++i_;
-            }
         }
 
-        const std::vector<EdgeId> *list_ = nullptr;
-        const std::vector<DdgEdge> *edges_ = nullptr;
+        Policy policy_{};
         std::size_t i_ = 0;
-        bool srcSide_ = false;
     };
 
-    FlowNeighborRange(const std::vector<EdgeId> &list,
-                      const std::vector<DdgEdge> &edges, bool src_side)
-        : list_(&list), edges_(&edges), srcSide_(src_side)
-    {
-    }
+    explicit SkipFilterRange(const Policy &policy) : policy_(policy) {}
 
-    iterator begin() const
-    {
-        return iterator(*list_, *edges_, 0, srcSide_);
-    }
-    iterator end() const
-    {
-        return iterator(*list_, *edges_, list_->size(), srcSide_);
-    }
+    iterator begin() const { return iterator(policy_, 0); }
+    iterator end() const { return iterator(policy_, policy_.limit()); }
     bool empty() const { return begin() == end(); }
 
-    /** Number of live flow neighbours; O(list length). */
+    /** Number of admitted elements; O(raw length). */
     std::size_t size() const
     {
         std::size_t n = 0;
@@ -365,18 +200,129 @@ class FlowNeighborRange
         return n;
     }
 
-    /** First neighbour; the range must be non-empty. */
-    NodeId front() const { return *begin(); }
+    /** First element; the range must be non-empty. */
+    value_type front() const { return *begin(); }
 
-    std::vector<NodeId> toVector() const
+    /** Materialize (for callers that need ownership, e.g. tests). */
+    std::vector<value_type> toVector() const
     {
-        return std::vector<NodeId>(begin(), end());
+        return std::vector<value_type>(begin(), end());
     }
 
   private:
-    const std::vector<EdgeId> *list_;
-    const std::vector<DdgEdge> *edges_;
-    bool srcSide_;
+    Policy policy_;
+};
+
+/** Live slots of a dense tombstoned entity array, projected to ids. */
+template <typename Entity, typename Id>
+struct LiveSlotPolicy
+{
+    using value_type = Id;
+
+    const std::vector<Entity> *arr = nullptr;
+
+    std::size_t limit() const { return arr->size(); }
+    bool admit(std::size_t i) const { return (*arr)[i].alive; }
+    Id project(std::size_t i) const { return static_cast<Id>(i); }
+};
+
+/** Live edge ids of one adjacency list. */
+struct LiveAdjPolicy
+{
+    using value_type = EdgeId;
+
+    const std::vector<EdgeId> *list = nullptr;
+    const std::vector<DdgEdge> *edges = nullptr;
+
+    std::size_t limit() const { return list->size(); }
+    bool admit(std::size_t i) const
+    {
+        return (*edges)[(*list)[i]].alive;
+    }
+    EdgeId project(std::size_t i) const { return (*list)[i]; }
+};
+
+/**
+ * Live register-flow neighbours across one adjacency list: the edge's
+ * src (producers, over an in-list) or dst (consumers, over an
+ * out-list).
+ */
+struct FlowNeighborPolicy
+{
+    using value_type = NodeId;
+
+    const std::vector<EdgeId> *list = nullptr;
+    const std::vector<DdgEdge> *edges = nullptr;
+    bool srcSide = false;
+
+    std::size_t limit() const { return list->size(); }
+    bool admit(std::size_t i) const
+    {
+        const DdgEdge &e = (*edges)[(*list)[i]];
+        return e.alive && e.kind == EdgeKind::RegFlow;
+    }
+    NodeId project(std::size_t i) const
+    {
+        const DdgEdge &e = (*edges)[(*list)[i]];
+        return srcSide ? e.src : e.dst;
+    }
+};
+
+} // namespace detail
+
+/**
+ * Forward range over the live ids of a dense tombstoned entity array
+ * (nodes_ or edges_). Allocation-free: iteration skips dead slots in
+ * place.
+ */
+template <typename Entity, typename Id>
+class LiveIdRange
+    : public detail::SkipFilterRange<detail::LiveSlotPolicy<Entity, Id>>
+{
+  public:
+    explicit LiveIdRange(const std::vector<Entity> &arr)
+        : detail::SkipFilterRange<detail::LiveSlotPolicy<Entity, Id>>(
+              detail::LiveSlotPolicy<Entity, Id>{&arr})
+    {
+    }
+};
+
+using LiveNodeRange = LiveIdRange<DdgNode, NodeId>;
+using LiveEdgeRange = LiveIdRange<DdgEdge, EdgeId>;
+
+/**
+ * Forward range over the live edge ids of one node's adjacency list
+ * (`DdgNode::in` or `DdgNode::out`), skipping tombstoned edges in
+ * place without allocating.
+ */
+class LiveAdjRange
+    : public detail::SkipFilterRange<detail::LiveAdjPolicy>
+{
+  public:
+    LiveAdjRange(const std::vector<EdgeId> &list,
+                 const std::vector<DdgEdge> &edges)
+        : detail::SkipFilterRange<detail::LiveAdjPolicy>(
+              detail::LiveAdjPolicy{&list, &edges})
+    {
+    }
+};
+
+/**
+ * Forward range over the register-flow neighbours of one node: the
+ * producers feeding it (`src` side of its in-list) or the consumers
+ * reading it (`dst` side of its out-list). Skips tombstoned and
+ * non-RegFlow edges in place.
+ */
+class FlowNeighborRange
+    : public detail::SkipFilterRange<detail::FlowNeighborPolicy>
+{
+  public:
+    FlowNeighborRange(const std::vector<EdgeId> &list,
+                      const std::vector<DdgEdge> &edges, bool src_side)
+        : detail::SkipFilterRange<detail::FlowNeighborPolicy>(
+              detail::FlowNeighborPolicy{&list, &edges, src_side})
+    {
+    }
 };
 
 /**
@@ -386,6 +332,23 @@ class FlowNeighborRange
 class Ddg
 {
   public:
+    /**
+     * Bulk-load a graph from fully-described slot arrays, the fast
+     * path of suite deserialization (workloads/suite_io.hh): one
+     * generation stamp and exactly-reserved adjacency lists instead
+     * of per-element mutation calls. The caller fills every entity
+     * field except `id` and the adjacency lists (`in`/`out`), which
+     * are derived here: ids become the slot indices and each node's
+     * lists hold its incident edge ids in edge-id order - exactly the
+     * state an addNode/addEdge/remove* replay would produce, so a
+     * graph built this way is field-identical to its original.
+     * Panics on inconsistent input (bad endpoints, live edges on dead
+     * nodes, flow edges from non-value producers); deserializers must
+     * validate untrusted bytes *before* calling.
+     */
+    static Ddg fromSlots(std::vector<DdgNode> nodes,
+                         std::vector<DdgEdge> edges);
+
     /** Create an operation of class @p cls. */
     NodeId addNode(OpClass cls, std::string label = "");
 

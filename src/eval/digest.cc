@@ -1,0 +1,42 @@
+#include "eval/digest.hh"
+
+namespace cvliw
+{
+
+void
+mixCompileResult(ResultDigest &f, const CompileResult &r)
+{
+    f.mix(r.ok ? 1 : 0);
+    if (!r.ok)
+        return;
+    f.mix(r.ii);
+    f.mix(r.mii);
+    f.mix(r.spills);
+    f.mix(r.comsFinal);
+    f.mix(r.usefulOps);
+    f.mix(r.lengthSaved);
+    f.mix(r.schedule.length);
+    f.mix(r.schedule.stageCount);
+    f.mix(r.schedule.start);
+    f.mix(r.schedule.busOf);
+    f.mix(r.schedule.maxLive);
+    f.mix(r.partition.vec());
+    f.mix(r.repl.comsInitial);
+    f.mix(r.repl.comsRemoved);
+    f.mix(r.repl.replicasAdded);
+    f.mix(r.repl.instructionsRemoved);
+    f.mix(static_cast<int>(r.iiIncreases.size()));
+    for (FailCause c : r.iiIncreases)
+        f.mix(static_cast<int>(c));
+}
+
+std::uint64_t
+digestSuiteResult(const SuiteResult &results)
+{
+    ResultDigest f;
+    for (const CompileResult &r : results.loops)
+        mixCompileResult(f, r);
+    return f.h;
+}
+
+} // namespace cvliw

@@ -1,9 +1,8 @@
 #include "eval/runner.hh"
 
-#include <atomic>
-#include <thread>
 #include <unordered_set>
 
+#include "eval/service.hh"
 #include "support/logging.hh"
 
 namespace cvliw
@@ -13,41 +12,17 @@ SuiteResult
 runSuite(const std::vector<Loop> &suite, const MachineConfig &mach,
          const PipelineOptions &opts, int threads)
 {
-    SuiteResult result;
-    result.loops.resize(suite.size());
-
-    if (threads <= 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        threads = hw ? static_cast<int>(hw) : 1;
+    // The process-wide service serves every default-sized call, so
+    // its warmed per-worker caches persist across suites and configs.
+    // An explicit different thread count gets a dedicated pool (the
+    // results are bit-identical either way; tests use this to pin
+    // determinism across worker counts).
+    if (threads <= 0 ||
+        threads == CompileService::defaultWorkerCount()) {
+        return CompileService::shared().compileSuite(suite, mach, opts);
     }
-    threads = std::min<int>(threads, static_cast<int>(suite.size()));
-    threads = std::max(threads, 1);
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        while (true) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= suite.size())
-                return;
-            result.loops[i] = compile(suite[i].ddg, mach, opts);
-            if (!result.loops[i].ok) {
-                cv_warn("loop ", suite[i].name(),
-                        " failed to compile on ", mach.name());
-            }
-        }
-    };
-
-    if (threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
-    }
-    return result;
+    CompileService service(threads);
+    return service.compileSuite(suite, mach, opts);
 }
 
 const BenchmarkAggregate &

@@ -63,7 +63,15 @@ class BenchmarkAggregates
 
 /**
  * Compile every loop of @p suite for @p mach with @p opts.
- * @param threads worker threads (0 = hardware concurrency)
+ *
+ * Convenience wrapper over `CompileService` (eval/service.hh): the
+ * default thread count runs on the process-wide shared service (so
+ * repeated calls reuse warmed per-worker caches); an explicit
+ * different count gets a dedicated pool. Results are bit-identical
+ * for any thread count.
+ *
+ * @param threads worker threads (0 = CVLIW_THREADS env, then
+ *        hardware concurrency)
  */
 SuiteResult runSuite(const std::vector<Loop> &suite,
                      const MachineConfig &mach,

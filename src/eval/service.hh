@@ -1,0 +1,164 @@
+/**
+ * @file
+ * `CompileService`: a persistent thread-pool compile engine for the
+ * heavy-traffic scenario (many machine configs x many loops per
+ * process).
+ *
+ * ## Why a service instead of throwaway threads
+ *
+ * The original `runSuite` spawned fresh threads per call and paid a
+ * fresh set of scratch buffers and analysis memos per loop. The
+ * service keeps both alive:
+ *
+ *  - **Persistent workers.** Threads are created once (constructor)
+ *    and reused for every batch, so a process serving many suites and
+ *    configs pays thread creation once.
+ *  - **Per-worker caches.** Each worker owns a long-lived
+ *    `CompileCaches` (PseudoScratch + SchedulerCache) reused across
+ *    jobs *and* configs. This is safe because every memo inside is
+ *    keyed on (`Ddg::generation()`, `MachineConfig::id()`) - the
+ *    config-keyed cache work of PR 2 - so a hit can never surface a
+ *    stale result, and reuse only recycles buffer capacity.
+ *  - **Atomic work queue.** Jobs are claimed with a single
+ *    `fetch_add`, not static slicing, so a batch with skewed loop
+ *    sizes (fpppp bodies are ~10x tomcatv bodies) never idles a
+ *    worker while another finishes a long tail.
+ *
+ * ## Determinism
+ *
+ * Every job is compiled independently: result[i] depends only on
+ * job[i], never on which worker ran it or in what order. Combined
+ * with the keyed caches, a batch produces **bit-identical** results
+ * for any worker count (tests/service_test.cc pins 1 == 2 == 8
+ * workers; examples/suite_digest.cpp pins the combined suite digest).
+ *
+ * ## Usage
+ *
+ * ```
+ * CompileService svc;                       // hardware concurrency
+ * SuiteResult r = svc.compileSuite(suite, mach);
+ * auto rs = svc.compileSuite(suite, configs);   // one batch, n configs
+ * CompileService::shared().compileSuite(...);   // process-wide pool
+ * ```
+ *
+ * One batch runs at a time per service; concurrent callers of the
+ * same instance are serialized (the pool is the bottleneck anyway).
+ */
+
+#ifndef CVLIW_EVAL_SERVICE_HH
+#define CVLIW_EVAL_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "eval/runner.hh"
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+
+class CompileService
+{
+  public:
+    /** One compile job: a loop body and the machine to compile for. */
+    struct Job
+    {
+        const Ddg *ddg = nullptr;
+        const MachineConfig *mach = nullptr;
+        const PipelineOptions *opts = nullptr; //!< null = defaults
+    };
+
+    /**
+     * Pool size a default-constructed service uses: the
+     * CVLIW_THREADS environment variable, then hardware concurrency,
+     * then 1. Does not construct anything.
+     */
+    static int defaultWorkerCount();
+
+    /**
+     * Start the worker pool.
+     * @param workers thread count; <= 0 picks defaultWorkerCount()
+     */
+    explicit CompileService(int workers = 0);
+
+    /** Drains the current batch (if any) and joins the workers. */
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    int numWorkers() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Compile @p jobs, one result per job in job order. Blocks until
+     * the batch is done. Deterministic: the results never depend on
+     * the worker count or on scheduling.
+     */
+    std::vector<CompileResult> compileBatch(const std::vector<Job> &jobs);
+
+    /** Compile every loop of @p suite for @p mach. */
+    SuiteResult compileSuite(const std::vector<Loop> &suite,
+                             const MachineConfig &mach,
+                             const PipelineOptions &opts = {});
+
+    /**
+     * Compile every loop of @p suite for every config of @p machs as
+     * one batch (suite-major order), so the pool crosses config
+     * boundaries without a barrier: the per-config results are
+     * returned in @p machs order.
+     */
+    std::vector<SuiteResult>
+    compileSuite(const std::vector<Loop> &suite,
+                 const std::vector<MachineConfig> &machs,
+                 const PipelineOptions &opts = {});
+
+    /**
+     * Process-wide service, created on first use and sized like
+     * `CompileService(0)`. Every binary that just wants "compile this
+     * suite fast" shares this pool and its warmed-up caches.
+     */
+    static CompileService &shared();
+
+  private:
+    void workerMain(std::size_t worker_index);
+
+    /** Wake the pool for jobs_/results_ and wait for completion. */
+    void runBatch(std::size_t job_count);
+
+    std::vector<std::thread> workers_;
+
+    // One long-lived cache set per worker, index-aligned with
+    // workers_. Only worker i touches caches_[i].
+    std::vector<CompileCaches> caches_;
+
+    // Batch hand-off. `generation_` advances once per batch; workers
+    // sleep on it. The job claim itself is a lock-free fetch_add. A
+    // batch completes only when every job is done AND every worker
+    // that adopted the batch has left its claim loop
+    // (`activeWorkers_` == 0) - otherwise a slow worker could claim
+    // against the next batch's reset counter while still holding the
+    // previous batch's job/result pointers.
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::uint64_t generation_ = 0;
+    bool stopping_ = false;
+    const Job *jobs_ = nullptr;
+    CompileResult *results_ = nullptr;
+    std::size_t jobCount_ = 0;
+    std::atomic<std::size_t> nextJob_{0};
+    std::size_t pendingJobs_ = 0;
+    std::size_t activeWorkers_ = 0;
+
+    // Callers of compileBatch are serialized: one batch at a time.
+    std::mutex batchMutex_;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_EVAL_SERVICE_HH

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * FNV-1a(64) constants, shared by every digest in the tree (the
+ * compile-result digests in eval/digest.hh and the suite cache's
+ * payload digest in workloads/suite_io.cc). Contract-bearing: the
+ * recorded suite digests and the cache file format both depend on
+ * these exact values.
+ */
+
+#ifndef CVLIW_SUPPORT_FNV_HH
+#define CVLIW_SUPPORT_FNV_HH
+
+#include <cstdint>
+
+namespace cvliw
+{
+
+constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+} // namespace cvliw
+
+#endif // CVLIW_SUPPORT_FNV_HH

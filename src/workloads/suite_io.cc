@@ -1,0 +1,505 @@
+#include "workloads/suite_io.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "support/fnv.hh"
+#include "support/logging.hh"
+
+// Baked-in cache location (the build directory's generated cache);
+// overridable per-process with the CVLIW_SUITE_CACHE environment
+// variable. Empty when the build system did not provide one.
+#ifndef CVLIW_SUITE_CACHE_DEFAULT
+#define CVLIW_SUITE_CACHE_DEFAULT ""
+#endif
+
+namespace cvliw
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'C', 'V', 'S', 'U', 'I', 'T', 'E', '\0'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+// On little-endian hosts the wire format matches memory layout, so
+// fixed-width fields load with a single memcpy; the shift-assembly
+// fallback keeps big-endian hosts correct.
+#if defined(__BYTE_ORDER__) &&                                          \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
+
+std::uint32_t
+loadLe32(const unsigned char *p)
+{
+    if (kHostLittleEndian) {
+        std::uint32_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+loadLe64(const unsigned char *p)
+{
+    if (kHostLittleEndian) {
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+// Node flag bits (u8 "flags" field).
+constexpr std::uint8_t kNodeAlive = 1u << 0;
+constexpr std::uint8_t kNodeReplica = 1u << 1;
+constexpr std::uint8_t kNodeSpill = 1u << 2;
+constexpr std::uint8_t kNodeLiveOut = 1u << 3;
+
+/**
+ * FNV-1a folded over little-endian 64-bit words (remainder bytes and
+ * the total length folded in at the end). Word granularity keeps the
+ * integrity check ~8x cheaper than byte-wise FNV - it is on the
+ * loadSuite fast path - while still catching any flipped bit. The
+ * words are assembled by explicit shifts, so the digest is identical
+ * on any host endianness.
+ */
+std::uint64_t
+payloadDigest(const unsigned char *data, std::size_t size)
+{
+    std::uint64_t h = kFnv1aOffset;
+    const std::size_t words = size / 8;
+    for (std::size_t i = 0; i < words; ++i) {
+        h ^= loadLe64(data + 8 * i);
+        h *= kFnv1aPrime;
+    }
+    for (std::size_t i = words * 8; i < size; ++i) {
+        h ^= data[i];
+        h *= kFnv1aPrime;
+    }
+    h ^= static_cast<std::uint64_t>(size);
+    h *= kFnv1aPrime;
+    return h;
+}
+
+/** Append-only little-endian byte sink. */
+struct Writer
+{
+    std::vector<unsigned char> bytes;
+
+    void u8(std::uint8_t v) { bytes.push_back(v); }
+
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back((v >> (8 * i)) & 0xff);
+    }
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes.push_back((v >> (8 * i)) & 0xff);
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+    void f64(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes.insert(bytes.end(), s.begin(), s.end());
+    }
+};
+
+/** Bounds-checked little-endian reader; throws instead of over-reading. */
+struct Reader
+{
+    const unsigned char *data;
+    std::size_t size;
+    const std::string &path;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw SuiteIoError("suite cache '" + path + "': " + what);
+    }
+
+    void need(std::size_t n) const
+    {
+        if (size - pos < n) {
+            fail("truncated (need " + std::to_string(n) +
+                 " bytes at offset " + std::to_string(pos) +
+                 ", have " + std::to_string(size - pos) + ")");
+        }
+    }
+
+    std::uint8_t u8()
+    {
+        need(1);
+        return data[pos++];
+    }
+
+    std::uint32_t u32()
+    {
+        need(4);
+        const std::uint32_t v = loadLe32(data + pos);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        need(8);
+        const std::uint64_t v = loadLe64(data + pos);
+        pos += 8;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    double f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string str()
+    {
+        const std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+void
+serializeLoop(Writer &w, const Loop &loop)
+{
+    w.str(loop.benchmark);
+    w.i32(loop.index);
+    w.f64(loop.profile.visits);
+    w.f64(loop.profile.avgIters);
+
+    // Slot-level dump including tombstones, so removal history that
+    // matters (dead slots between live ones) survives the round trip.
+    // The node()/edge() accessors bounds-check only, so dead slots
+    // are readable.
+    const Ddg &g = loop.ddg;
+    w.u32(static_cast<std::uint32_t>(g.numNodeSlots()));
+    for (NodeId id = 0; id < g.numNodeSlots(); ++id) {
+        const DdgNode &n = g.node(id);
+        w.u8(static_cast<std::uint8_t>(n.cls));
+        std::uint8_t flags = 0;
+        if (n.alive)
+            flags |= kNodeAlive;
+        if (n.isReplica)
+            flags |= kNodeReplica;
+        if (n.isSpill)
+            flags |= kNodeSpill;
+        if (n.liveOut)
+            flags |= kNodeLiveOut;
+        w.u8(flags);
+        w.i32(n.semanticId);
+        w.str(n.label);
+    }
+    w.u32(static_cast<std::uint32_t>(g.numEdgeSlots()));
+    for (EdgeId id = 0; id < g.numEdgeSlots(); ++id) {
+        const DdgEdge &e = g.edge(id);
+        w.i32(e.src);
+        w.i32(e.dst);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u8(e.alive ? 1 : 0);
+        w.i32(e.distance);
+        w.i32(e.memLatency);
+    }
+}
+
+/**
+ * Parse one loop record. Every field is validated here, before the
+ * slots reach Ddg::fromSlots - the graph layer asserts (aborts) on
+ * inconsistent input, the IO layer must throw instead.
+ */
+Loop
+deserializeLoop(Reader &r)
+{
+    Loop loop;
+    loop.benchmark = r.str();
+    loop.index = r.i32();
+    loop.profile.visits = r.f64();
+    loop.profile.avgIters = r.f64();
+
+    const std::uint32_t node_slots = r.u32();
+    std::vector<DdgNode> nodes(node_slots);
+    for (std::uint32_t i = 0; i < node_slots; ++i) {
+        DdgNode &n = nodes[i];
+        const std::uint8_t cls = r.u8();
+        if (cls >= static_cast<std::uint8_t>(OpClass::NumOpClasses))
+            r.fail("bad op class " + std::to_string(cls));
+        n.cls = static_cast<OpClass>(cls);
+        const std::uint8_t flags = r.u8();
+        n.alive = (flags & kNodeAlive) != 0;
+        n.isReplica = (flags & kNodeReplica) != 0;
+        n.isSpill = (flags & kNodeSpill) != 0;
+        n.liveOut = (flags & kNodeLiveOut) != 0;
+        n.semanticId = r.i32();
+        if (n.semanticId < 0 ||
+            n.semanticId >= static_cast<NodeId>(node_slots)) {
+            r.fail("semantic id " + std::to_string(n.semanticId) +
+                   " outside the node array");
+        }
+        n.label = r.str();
+    }
+
+    const std::uint32_t edge_slots = r.u32();
+    std::vector<DdgEdge> edges(edge_slots);
+    for (std::uint32_t i = 0; i < edge_slots; ++i) {
+        DdgEdge &e = edges[i];
+        e.src = r.i32();
+        e.dst = r.i32();
+        const std::uint8_t kind = r.u8();
+        const std::uint8_t alive = r.u8();
+        e.distance = r.i32();
+        e.memLatency = r.i32();
+        if (e.src < 0 || e.src >= static_cast<NodeId>(node_slots) ||
+            e.dst < 0 || e.dst >= static_cast<NodeId>(node_slots)) {
+            r.fail("edge endpoint outside the node array");
+        }
+        if (kind > static_cast<std::uint8_t>(EdgeKind::Spill))
+            r.fail("bad edge kind " + std::to_string(kind));
+        e.kind = static_cast<EdgeKind>(kind);
+        e.alive = alive != 0;
+        if (e.distance < 0)
+            r.fail("negative edge distance");
+        if (e.alive) {
+            if (!nodes[e.src].alive || !nodes[e.dst].alive)
+                r.fail("live edge on a dead node");
+            if (e.kind == EdgeKind::RegFlow &&
+                !producesValue(nodes[e.src].cls)) {
+                r.fail("flow edge from a non-value-producing op");
+            }
+        }
+    }
+
+    loop.ddg = Ddg::fromSlots(std::move(nodes), std::move(edges));
+    return loop;
+}
+
+} // namespace
+
+void
+saveSuite(const std::vector<Loop> &suite, const std::string &path,
+          std::uint64_t seed)
+{
+    // Payload plus the per-loop offset table that makes records
+    // independently addressable (parallel loading, random access).
+    Writer payload;
+    std::vector<std::uint64_t> offsets;
+    offsets.reserve(suite.size());
+    for (const Loop &loop : suite) {
+        offsets.push_back(payload.bytes.size());
+        serializeLoop(payload, loop);
+    }
+
+    Writer out;
+    out.bytes.insert(out.bytes.end(), kMagic, kMagic + sizeof(kMagic));
+    out.u32(kVersion);
+    out.u32(kEndianTag);
+    out.u64(seed);
+    out.u32(static_cast<std::uint32_t>(suite.size()));
+    out.u64(payload.bytes.size());
+    out.u64(payloadDigest(payload.bytes.data(), payload.bytes.size()));
+    for (std::uint64_t off : offsets)
+        out.u64(off);
+    out.bytes.insert(out.bytes.end(), payload.bytes.begin(),
+                     payload.bytes.end());
+
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        throw SuiteIoError("cannot open '" + path + "' for writing");
+    f.write(reinterpret_cast<const char *>(out.bytes.data()),
+            static_cast<std::streamsize>(out.bytes.size()));
+    if (!f)
+        throw SuiteIoError("short write to '" + path + "'");
+}
+
+std::vector<Loop>
+loadSuite(const std::string &path, std::uint64_t *seed_out)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f)
+        throw SuiteIoError("cannot open suite cache '" + path + "'");
+    const std::streamsize size = f.tellg();
+    f.seekg(0);
+    std::vector<unsigned char> bytes(static_cast<std::size_t>(size));
+    if (size > 0) {
+        f.read(reinterpret_cast<char *>(bytes.data()), size);
+        if (!f)
+            throw SuiteIoError("short read from '" + path + "'");
+    }
+
+    Reader r{bytes.data(), bytes.size(), path};
+    r.need(sizeof(kMagic));
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        r.fail("not a suite cache (bad magic)");
+    r.pos = sizeof(kMagic);
+    const std::uint32_t version = r.u32();
+    if (version != kVersion) {
+        r.fail("unsupported version " + std::to_string(version) +
+               " (this build reads version " +
+               std::to_string(kVersion) + ")");
+    }
+    if (r.u32() != kEndianTag)
+        r.fail("foreign-endian file");
+    const std::uint64_t seed = r.u64();
+    const std::uint32_t loop_count = r.u32();
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t digest = r.u64();
+
+    // The header is not covered by the payload digest, so bound the
+    // offset-table allocation by the actual file size before trusting
+    // loopCount (a flipped header byte must fail cleanly, not OOM).
+    if (static_cast<std::uint64_t>(loop_count) * 8 > r.size - r.pos)
+        r.fail("loop count exceeds the file size");
+    std::vector<std::uint64_t> offsets(loop_count);
+    for (std::uint32_t i = 0; i < loop_count; ++i) {
+        offsets[i] = r.u64();
+        if (offsets[i] >= payload_size ||
+            (i > 0 && offsets[i] <= offsets[i - 1]) ||
+            (i == 0 && offsets[i] != 0)) {
+            r.fail("corrupt loop offset table");
+        }
+    }
+
+    const unsigned char *payload = bytes.data() + r.pos;
+    if (bytes.size() - r.pos != payload_size) {
+        r.fail("payload size mismatch (header says " +
+               std::to_string(payload_size) + ", file holds " +
+               std::to_string(bytes.size() - r.pos) + ")");
+    }
+    if (payloadDigest(payload, payload_size) != digest)
+        r.fail("payload digest mismatch (corrupted file)");
+
+    std::vector<Loop> suite(loop_count);
+    auto parseRange = [&](std::uint32_t lo, std::uint32_t hi) {
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            const std::uint64_t begin = offsets[i];
+            const std::uint64_t end =
+                i + 1 < loop_count ? offsets[i + 1] : payload_size;
+            Reader rec{payload + begin, end - begin, path};
+            suite[i] = deserializeLoop(rec);
+            if (rec.pos != rec.size)
+                rec.fail("loop record has trailing bytes");
+        }
+    };
+
+    // Records are independent thanks to the offset table, so large
+    // suites parse in parallel; each worker writes disjoint slots.
+    // Spawn failures degrade gracefully: chunks whose thread never
+    // started are parsed right here on the calling thread.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::uint32_t per_worker = 128;
+    std::uint32_t workers =
+        std::min<std::uint32_t>(hw ? hw : 1,
+                                loop_count / per_worker);
+    if (workers > 1) {
+        std::vector<std::thread> pool;
+        std::exception_ptr error;
+        std::mutex error_mutex;
+        const std::uint32_t chunk = (loop_count + workers - 1) / workers;
+        std::uint32_t spawned = 0;
+        try {
+            pool.reserve(workers);
+            for (std::uint32_t w = 0; w < workers; ++w) {
+                const std::uint32_t lo = w * chunk;
+                const std::uint32_t hi =
+                    std::min(loop_count, lo + chunk);
+                pool.emplace_back([&, lo, hi]() {
+                    try {
+                        parseRange(lo, hi);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(error_mutex);
+                        if (!error)
+                            error = std::current_exception();
+                    }
+                });
+                ++spawned;
+            }
+        } catch (...) {
+            // Out of threads; fall through and parse the rest serially.
+        }
+        for (std::uint32_t i = spawned * chunk; i < loop_count;
+             i += chunk) {
+            parseRange(i, std::min(loop_count, i + chunk));
+        }
+        for (auto &t : pool)
+            t.join();
+        if (error)
+            std::rethrow_exception(error);
+    } else {
+        parseRange(0, loop_count);
+    }
+
+    if (seed_out)
+        *seed_out = seed;
+    return suite;
+}
+
+std::string
+defaultSuiteCachePath()
+{
+    if (const char *env = std::getenv("CVLIW_SUITE_CACHE"))
+        return env;
+    return CVLIW_SUITE_CACHE_DEFAULT;
+}
+
+std::vector<Loop>
+loadOrBuildSuite(std::uint64_t seed)
+{
+    const std::string path = defaultSuiteCachePath();
+    if (!path.empty() && std::ifstream(path).good()) {
+        // Probe first: a build tree that never generated the cache
+        // is normal and falls back silently; only a present-but-bad
+        // cache warrants a warning.
+        try {
+            std::uint64_t cached_seed = 0;
+            std::vector<Loop> suite = loadSuite(path, &cached_seed);
+            if (cached_seed == seed)
+                return suite;
+            cv_inform("suite cache '", path, "' holds seed ",
+                      cached_seed, ", wanted ", seed,
+                      "; regenerating");
+        } catch (const std::exception &err) {
+            // SuiteIoError, or anything the parallel load surfaced
+            // (e.g. bad_alloc): generation is always the safe answer.
+            cv_warn("ignoring suite cache: ", err.what());
+        }
+    }
+    return buildSuite(seed);
+}
+
+} // namespace cvliw

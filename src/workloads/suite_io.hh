@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Suite serialization: write the generated loop suite to a versioned
+ * flat binary file and load it back bit-identically, so binaries stop
+ * paying the ~9 ms `buildSuite` regeneration per process (the CMake
+ * build generates the cache once; see below).
+ *
+ * ## File format (version 1)
+ *
+ * All multi-byte fields are little-endian and fixed-width; the layout
+ * is a single flat sequence (mmap-friendly: no pointers, no
+ * alignment holes that depend on the host), checked end-to-end by a
+ * payload digest.
+ *
+ * ```
+ * header:
+ *   u8[8]  magic       "CVSUITE\0"
+ *   u32    version     1
+ *   u32    endianTag   0x01020304 (rejects foreign-endian writers)
+ *   u64    seed        generator seed the suite was built from
+ *   u32    loopCount
+ *   u64    payloadSize bytes following the offset table
+ *   u64    payloadFnv  FNV-1a(64) folded over LE 64-bit words of the
+ *                      payload (+ remainder bytes + total length)
+ *   u64[loopCount] loopOffsets  byte offset of each loop record from
+ *                      the payload start (strictly increasing, [0]=0)
+ * payload, per loop:
+ *   str    benchmark   (u32 length + bytes)
+ *   i32    index
+ *   u64    visits      (IEEE-754 bit pattern)
+ *   u64    avgIters    (IEEE-754 bit pattern)
+ *   u32    nodeSlots   (including tombstones)
+ *   per node slot: u8 opClass, u8 flags (bit0 alive, bit1 isReplica,
+ *                  bit2 isSpill, bit3 liveOut), i32 semanticId,
+ *                  str label
+ *   u32    edgeSlots
+ *   per edge slot: i32 src, i32 dst, u8 kind, u8 alive,
+ *                  i32 distance, i32 memLatency
+ * ```
+ *
+ * Any truncation, corruption (digest mismatch), bad magic or
+ * unsupported version is rejected with a `SuiteIoError` carrying a
+ * clear message - never undefined behaviour. Version bumps are
+ * append-only: readers reject versions they do not know. The offset
+ * table makes loop records independently addressable, so big suites
+ * deserialize on several threads (and a future reader could mmap the
+ * file and materialize loops lazily).
+ *
+ * ## Bit-identity contract
+ *
+ * `loadSuite` rebuilds each `Ddg` via `Ddg::fromSlots`, which derives
+ * ids and adjacency lists exactly as an addNode/addEdge/remove*
+ * replay would, so every observable `Loop` field (names, profiles,
+ * node/edge arrays including tombstones and adjacency order) matches
+ * `buildSuite`'s output exactly. The only exception is
+ * `Ddg::generation()`, which is process-unique by design and never
+ * serialized. tests/suite_io_test.cc pins the field-level round-trip.
+ *
+ * ## How binaries consume the cache
+ *
+ * The build generates `suite-42.cvsuite` in the build directory once
+ * (tools/suite_cache_gen, wired as a CMake custom command) and bakes
+ * that path into the library as the default. `loadOrBuildSuite()`
+ * resolves, in order: the `CVLIW_SUITE_CACHE` environment variable,
+ * the baked build-directory default, then `buildSuite()` generation
+ * as the fallback - so test and bench binaries transparently load the
+ * cache when it exists and still work from a bare checkout.
+ */
+
+#ifndef CVLIW_WORKLOADS_SUITE_IO_HH
+#define CVLIW_WORKLOADS_SUITE_IO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+
+/** Malformed, corrupted or unreadable suite cache file. */
+class SuiteIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Serialize @p suite to @p path (format above).
+ * @param seed the generator seed the suite was built from, recorded
+ *        in the header so loaders can verify they got the suite they
+ *        asked for
+ * @throws SuiteIoError when the file cannot be written
+ */
+void saveSuite(const std::vector<Loop> &suite, const std::string &path,
+               std::uint64_t seed);
+
+/**
+ * Load a suite saved by saveSuite(). Bit-identical to the generated
+ * suite (see the contract above).
+ * @param seed_out when non-null, receives the header's seed
+ * @throws SuiteIoError on any malformed, truncated or corrupt input
+ */
+std::vector<Loop> loadSuite(const std::string &path,
+                            std::uint64_t *seed_out = nullptr);
+
+/**
+ * The suite cache path binaries should try first: the
+ * `CVLIW_SUITE_CACHE` environment variable if set, else the path
+ * baked in at build time (the build-directory cache), else "".
+ */
+std::string defaultSuiteCachePath();
+
+/**
+ * The fast path to a suite: load `defaultSuiteCachePath()` when it
+ * holds a valid cache for @p seed (~3.5 ms single-core vs ~9 ms
+ * generation; multi-core loads parse records in parallel), else
+ * generate with `buildSuite(seed)`. Never throws: any cache problem
+ * falls back to generation.
+ */
+std::vector<Loop> loadOrBuildSuite(std::uint64_t seed = 42);
+
+} // namespace cvliw
+
+#endif // CVLIW_WORKLOADS_SUITE_IO_HH

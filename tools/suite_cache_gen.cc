@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Build-time tool: generate the loop suite and serialize it to the
+ * versioned cache file that test and bench binaries load instead of
+ * paying suite generation per process (see workloads/suite_io.hh).
+ *
+ * Usage: suite_cache_gen <output-path> [seed]   (default seed 42)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "workloads/suite_io.hh"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: suite_cache_gen <output-path> [seed]\n";
+        return 2;
+    }
+    const std::string path = argv[1];
+    const std::uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+    const auto suite = cvliw::buildSuite(seed);
+    try {
+        cvliw::saveSuite(suite, path, seed);
+    } catch (const cvliw::SuiteIoError &err) {
+        std::cerr << "suite_cache_gen: " << err.what() << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << suite.size() << " loops (seed " << seed
+              << ") to " << path << "\n";
+    return 0;
+}
