@@ -24,8 +24,11 @@ findRemovableInstructions(const Ddg &ddg, const Partition &part,
             return false;
         // Removable when every same-cluster consumer is removable
         // (remote consumers read replicas or the bus broadcast).
-        for (NodeId w : ddg.flowSuccs(v)) {
-            if (part.clusterOf(w) == home && !removable[w])
+        for (EdgeId eid : ddg.outEdgesRaw(v)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (!e.alive || e.kind != EdgeKind::RegFlow)
+                continue;
+            if (part.clusterOf(e.dst) == home && !removable[e.dst])
                 return false;
         }
         removable[v] = true;
@@ -42,9 +45,12 @@ findRemovableInstructions(const Ddg &ddg, const Partition &part,
         // parents belong to those values' own subgraphs (section 3.4).
         if (v != com && communicated[v])
             continue;
-        for (NodeId p : ddg.flowPreds(v)) {
-            if (part.clusterOf(p) == home && !removable[p])
-                worklist.push_back(p);
+        for (EdgeId eid : ddg.inEdgesRaw(v)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (!e.alive || e.kind != EdgeKind::RegFlow)
+                continue;
+            if (part.clusterOf(e.src) == home && !removable[e.src])
+                worklist.push_back(e.src);
         }
     }
 

@@ -97,15 +97,19 @@ spillOneValue(Ddg &ddg, Partition &part, const MachineConfig &mach,
             continue;
 
         // Insert store + reload and rewire the distant consumers.
-        const DdgNode &vn = ddg.node(victim);
+        // Copy before addNode: push_back may reallocate the node
+        // array, so a reference into it would dangle across the call
+        // (same hazard the TSan job caught in Ddg::addReplica).
+        const std::string victim_label = ddg.node(victim).label;
+        const NodeId victim_sem = ddg.node(victim).semanticId;
         const NodeId st =
-            ddg.addNode(OpClass::Store, vn.label + ".spst");
+            ddg.addNode(OpClass::Store, victim_label + ".spst");
         ddg.node(st).isSpill = true;
-        ddg.node(st).semanticId = vn.semanticId;
+        ddg.node(st).semanticId = victim_sem;
         const NodeId ld =
-            ddg.addNode(OpClass::Load, vn.label + ".spld");
+            ddg.addNode(OpClass::Load, victim_label + ".spld");
         ddg.node(ld).isSpill = true;
-        ddg.node(ld).semanticId = vn.semanticId;
+        ddg.node(ld).semanticId = victim_sem;
         part.assign(st, cluster);
         part.assign(ld, cluster);
         ddg.addEdge(victim, st, EdgeKind::RegFlow, 0);

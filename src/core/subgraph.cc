@@ -126,7 +126,11 @@ findReplicationSubgraph(const Ddg &ddg, const Partition &part,
             // parents in; existing instances already have operands.
             if (!required_here[v])
                 continue;
-            for (NodeId p : ddg.flowPreds(v)) {
+            for (EdgeId eid : ddg.inEdgesRaw(v)) {
+                const DdgEdge &pe = ddg.edge(eid);
+                if (!pe.alive || pe.kind != EdgeKind::RegFlow)
+                    continue;
+                const NodeId p = pe.src;
                 if (visited[p])
                     continue;
                 if (communicated[p] &&

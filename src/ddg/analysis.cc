@@ -29,9 +29,9 @@ topoOrder(const Ddg &ddg)
         NodeId n = ready.back();
         ready.pop_back();
         order.push_back(n);
-        for (EdgeId eid : ddg.outEdges(n)) {
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.distance == 0 && --indeg[e.dst] == 0)
+            if (e.alive && e.distance == 0 && --indeg[e.dst] == 0)
                 ready.push_back(e.dst);
         }
     }
@@ -60,9 +60,9 @@ computeTimesOrdered(const Ddg &ddg, const MachineConfig &mach,
 
     // Forward pass: ASAP and depth.
     for (NodeId n : order) {
-        for (EdgeId eid : ddg.inEdges(n)) {
+        for (EdgeId eid : ddg.inEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.distance != 0)
+            if (!e.alive || e.distance != 0)
                 continue;
             const int lat = ddg.edgeLatency(eid, mach);
             t.asap[n] = std::max(t.asap[n], t.asap[e.src] + lat);
@@ -81,9 +81,9 @@ computeTimesOrdered(const Ddg &ddg, const MachineConfig &mach,
         const NodeId n = *it;
         const int lat = mach.latency(ddg.node(n).cls);
         t.alap[n] = t.length - lat;
-        for (EdgeId eid : ddg.outEdges(n)) {
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.distance != 0)
+            if (!e.alive || e.distance != 0)
                 continue;
             const int elat = ddg.edgeLatency(eid, mach);
             t.alap[n] = std::min(t.alap[n], t.alap[e.dst] - elat);
@@ -114,12 +114,13 @@ stronglyConnectedComponents(const Ddg &ddg)
     int next_comp = 0;
 
     // Iterative DFS to avoid deep recursion on long chains. Each
-    // frame walks the node's live out-edges through the adjacency
-    // view directly - no per-frame successor copies.
+    // frame walks the node's raw out-span directly (the graph is not
+    // mutated here, so borrowed spans are safe) - no per-frame
+    // successor copies, dead edges skipped at the fetch.
     struct Frame
     {
         NodeId n;
-        LiveAdjRange::iterator it, end;
+        const EdgeId *it, *end;
     };
 
     std::vector<Frame> dfs;
@@ -130,15 +131,18 @@ stronglyConnectedComponents(const Ddg &ddg)
             index[n] = lowlink[n] = next_index++;
             stack.push_back(n);
             on_stack[n] = true;
-            const LiveAdjRange out = ddg.outEdges(n);
+            const EdgeSpan out = ddg.outEdgesRaw(n);
             dfs.push_back({n, out.begin(), out.end()});
         };
         push(root);
         while (!dfs.empty()) {
             Frame &f = dfs.back();
             if (f.it != f.end) {
-                const NodeId s = ddg.edge(*f.it).dst;
+                const DdgEdge &e = ddg.edge(*f.it);
                 ++f.it;
+                if (!e.alive)
+                    continue;
+                const NodeId s = e.dst;
                 if (index[s] == -1) {
                     push(s);
                 } else if (on_stack[s]) {
@@ -264,8 +268,9 @@ nodesOnRecurrences(const Ddg &ddg)
             on[n] = true;
             continue;
         }
-        for (EdgeId eid : ddg.outEdges(n)) {
-            if (ddg.edge(eid).dst == n) { // self-loop recurrence
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.alive && e.dst == n) { // self-loop recurrence
                 on[n] = true;
                 break;
             }

@@ -1,11 +1,46 @@
 #include "ddg/ddg.hh"
 
 #include <atomic>
+#include <limits>
 
 #include "support/logging.hh"
 
 namespace cvliw
 {
+
+namespace
+{
+
+/**
+ * Append @p id to @p slot in @p arena. Fast path: write into the
+ * span's slack. Full span: relocate to fresh arena tail with doubled
+ * capacity (amortized O(1)); the dead region left behind is never
+ * reused, so stale views of the old location keep reading intact
+ * pre-relocation data.
+ */
+void
+appendAdj(std::vector<EdgeId> &arena, detail::AdjSlot &slot, EdgeId id)
+{
+    if (slot.count == slot.capacity) {
+        const std::uint32_t cap =
+            slot.capacity ? 2 * slot.capacity : 4;
+        cv_assert(arena.size() + cap <=
+                      std::numeric_limits<std::uint32_t>::max(),
+                  "adjacency arena overflow");
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(arena.size());
+        arena.resize(arena.size() + cap, invalidEdge);
+        // Copy through indices: the old region lives in the same
+        // vector, so pointers taken before resize would dangle.
+        for (std::uint32_t i = 0; i < slot.count; ++i)
+            arena[off + i] = arena[slot.offset + i];
+        slot.offset = off;
+        slot.capacity = cap;
+    }
+    arena[slot.offset + slot.count++] = id;
+}
+
+} // namespace
 
 std::uint64_t
 Ddg::freshGeneration()
@@ -20,6 +55,43 @@ Ddg::freshGeneration()
 Ddg
 Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges)
 {
+    // Validate (the trusted path's documented preconditions), count
+    // degrees, then share the layout code.
+    const int node_slots = static_cast<int>(nodes.size());
+    for (int i = 0; i < node_slots; ++i) {
+        cv_assert(nodes[i].semanticId >= 0 &&
+                      nodes[i].semanticId < node_slots,
+                  "semantic id outside the node array");
+    }
+    std::vector<std::uint32_t> in_deg(node_slots, 0),
+        out_deg(node_slots, 0);
+    for (const DdgEdge &e : edges) {
+        cv_assert(e.src >= 0 && e.src < node_slots && e.dst >= 0 &&
+                      e.dst < node_slots,
+                  "edge endpoint outside the node array");
+        cv_assert(e.distance >= 0, "edge distance must be >= 0");
+        if (e.alive) {
+            cv_assert(nodes[e.src].alive && nodes[e.dst].alive,
+                      "live edge on a dead node");
+            if (e.kind == EdgeKind::RegFlow) {
+                cv_assert(producesValue(nodes[e.src].cls),
+                          "flow edge from non-value-producing op ",
+                          nodes[e.src].label);
+            }
+        }
+        ++out_deg[e.src];
+        ++in_deg[e.dst];
+    }
+    return fromSlotsTrusted(std::move(nodes), std::move(edges),
+                            in_deg.data(), out_deg.data());
+}
+
+Ddg
+Ddg::fromSlotsTrusted(std::vector<DdgNode> nodes,
+                      std::vector<DdgEdge> edges,
+                      const std::uint32_t *in_deg,
+                      const std::uint32_t *out_deg)
+{
     Ddg g;
     g.nodes_ = std::move(nodes);
     g.edges_ = std::move(edges);
@@ -29,46 +101,33 @@ Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges)
     for (int i = 0; i < node_slots; ++i) {
         DdgNode &n = g.nodes_[i];
         n.id = i;
-        cv_assert(n.in.empty() && n.out.empty(),
-                  "fromSlots derives adjacency itself");
-        cv_assert(n.semanticId >= 0 && n.semanticId < node_slots,
-                  "semantic id outside the node array");
         if (n.alive)
             ++g.liveNodes_;
     }
 
-    // Exact adjacency sizing: count degrees (dead edges included -
-    // tombstoned edge ids stay in the lists, the views skip them),
-    // then fill in edge-id order.
-    std::vector<int> in_deg(node_slots, 0), out_deg(node_slots, 0);
+    // Exactly-sized arena: spans laid out back to back in node order
+    // (in-span then out-span per node) with capacity == count (the
+    // compact no-slack form), filled in edge-id order. Dead edge ids
+    // stay in the spans; the views skip them.
+    g.slots_.resize(2 * static_cast<std::size_t>(node_slots));
+    std::uint32_t total = 0;
+    for (int i = 0; i < node_slots; ++i) {
+        g.slots_[2 * i] = {total, 0, in_deg[i]};
+        total += in_deg[i];
+        g.slots_[2 * i + 1] = {total, 0, out_deg[i]};
+        total += out_deg[i];
+    }
+    g.arena_.resize(total);
     g.liveEdges_ = 0;
     for (std::size_t i = 0; i < g.edges_.size(); ++i) {
         DdgEdge &e = g.edges_[i];
         e.id = static_cast<EdgeId>(i);
-        cv_assert(e.src >= 0 && e.src < node_slots && e.dst >= 0 &&
-                      e.dst < node_slots,
-                  "edge endpoint outside the node array");
-        cv_assert(e.distance >= 0, "edge distance must be >= 0");
-        if (e.alive) {
-            cv_assert(g.nodes_[e.src].alive && g.nodes_[e.dst].alive,
-                      "live edge on a dead node");
-            if (e.kind == EdgeKind::RegFlow) {
-                cv_assert(producesValue(g.nodes_[e.src].cls),
-                          "flow edge from non-value-producing op ",
-                          g.nodes_[e.src].label);
-            }
+        if (e.alive)
             ++g.liveEdges_;
-        }
-        ++out_deg[e.src];
-        ++in_deg[e.dst];
-    }
-    for (int i = 0; i < node_slots; ++i) {
-        g.nodes_[i].in.reserve(in_deg[i]);
-        g.nodes_[i].out.reserve(out_deg[i]);
-    }
-    for (const DdgEdge &e : g.edges_) {
-        g.nodes_[e.src].out.push_back(e.id);
-        g.nodes_[e.dst].in.push_back(e.id);
+        detail::AdjSlot &out = g.slots_[2 * e.src + 1];
+        g.arena_[out.offset + out.count++] = e.id;
+        detail::AdjSlot &in = g.slots_[2 * e.dst];
+        g.arena_[in.offset + in.count++] = e.id;
     }
     // One fresh stamp for the whole load (the constructor already
     // produced one; bulk loading is a single structural mutation).
@@ -85,6 +144,8 @@ Ddg::addNode(OpClass cls, std::string label)
                             : std::move(label);
     n.semanticId = n.id;
     nodes_.push_back(std::move(n));
+    slots_.emplace_back(); // in-span
+    slots_.emplace_back(); // out-span
     ++liveNodes_;
     bumpGeneration();
     return nodes_.back().id;
@@ -126,8 +187,8 @@ Ddg::addEdge(NodeId src, NodeId dst, EdgeKind kind, int distance,
     e.distance = distance;
     e.memLatency = mem_latency;
     edges_.push_back(e);
-    nodes_[src].out.push_back(e.id);
-    nodes_[dst].in.push_back(e.id);
+    appendAdj(arena_, slots_[2 * src + 1], e.id);
+    appendAdj(arena_, slots_[2 * dst], e.id);
     ++liveEdges_;
     bumpGeneration();
     return e.id;
@@ -137,13 +198,13 @@ void
 Ddg::removeNode(NodeId id)
 {
     checkNode(id);
-    for (EdgeId eid : nodes_[id].in) {
+    for (EdgeId eid : inEdgesRaw(id)) {
         if (edges_[eid].alive) {
             edges_[eid].alive = false;
             --liveEdges_;
         }
     }
-    for (EdgeId eid : nodes_[id].out) {
+    for (EdgeId eid : outEdgesRaw(id)) {
         if (edges_[eid].alive) {
             edges_[eid].alive = false;
             --liveEdges_;
@@ -195,28 +256,47 @@ LiveAdjRange
 Ddg::inEdges(NodeId id) const
 {
     checkNode(id);
-    return LiveAdjRange(nodes_[id].in, edges_);
+    return LiveAdjRange(arena_, slots_[2 * id], edges_);
 }
 
 LiveAdjRange
 Ddg::outEdges(NodeId id) const
 {
     checkNode(id);
-    return LiveAdjRange(nodes_[id].out, edges_);
+    return LiveAdjRange(arena_, slots_[2 * id + 1], edges_);
+}
+
+EdgeSpan
+Ddg::inEdgesRaw(NodeId id) const
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    const detail::AdjSlot &s = slots_[2 * id];
+    return EdgeSpan(s.count ? arena_.data() + s.offset : nullptr,
+                    s.count);
+}
+
+EdgeSpan
+Ddg::outEdgesRaw(NodeId id) const
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    const detail::AdjSlot &s = slots_[2 * id + 1];
+    return EdgeSpan(s.count ? arena_.data() + s.offset : nullptr,
+                    s.count);
 }
 
 FlowNeighborRange
 Ddg::flowPreds(NodeId id) const
 {
     checkNode(id);
-    return FlowNeighborRange(nodes_[id].in, edges_, true);
+    return FlowNeighborRange(arena_, slots_[2 * id], edges_, true);
 }
 
 FlowNeighborRange
 Ddg::flowSuccs(NodeId id) const
 {
     checkNode(id);
-    return FlowNeighborRange(nodes_[id].out, edges_, false);
+    return FlowNeighborRange(arena_, slots_[2 * id + 1], edges_,
+                             false);
 }
 
 int

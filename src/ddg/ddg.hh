@@ -13,6 +13,34 @@
  * and the replication algorithm (replicas, dead-code removal) edit it;
  * removal uses tombstones so node ids stay stable.
  *
+ * ## Adjacency arena (CSR layout)
+ *
+ * Per-node adjacency is not stored as one heap vector per node but as
+ * one flat `EdgeId` arena owned by the graph plus two
+ * `{offset, count, capacity}` spans per node (its in-list and its
+ * out-list, interleaved in one slot table so a node's pair shares a
+ * cache line). Contiguity is the point: every compile pass iterates
+ * adjacency millions of times, and one arena per graph replaces ~80
+ * small allocations per loop with two, keeps neighbouring spans on
+ * the same cache lines, and copies adjacency as two flat memcpys
+ * (node labels still allocate per copy; interning them is a
+ * ROADMAP item).
+ *
+ * Arena invariants and relocation rules:
+ *  - a span's ids are stored contiguously in insertion (edge-creation)
+ *    order; tombstoned edge ids stay in place and are skipped by the
+ *    filtering views;
+ *  - `addEdge` appends into span slack when `count < capacity`;
+ *    otherwise the span relocates to fresh arena tail with doubled
+ *    capacity (amortized O(1) growth). Dead regions left behind are
+ *    never reused or rewritten, so stale spans still read valid,
+ *    pre-relocation data;
+ *  - `Ddg::fromSlots` bulk loads build exactly-sized arenas
+ *    (capacity == count, zero slack, no relocation ever happened) -
+ *    the compact layout every deserialized graph starts from;
+ *  - the arenas only ever grow; `removeNode`/`removeEdge` tombstone
+ *    edges but never move spans.
+ *
  * ## Traversal views
  *
  * The traversal accessors (`nodes()`, `edges()`, `inEdges()`,
@@ -22,14 +50,24 @@
  * the analyses traverse the graph millions of times per compile, so
  * none of them may allocate.
  *
- * View validity: a view holds pointers to the graph's internal
- * containers, so it stays valid across tombstoning mutations
- * (`removeNode` / `removeEdge`) and across `addEdge` for *other*
- * adjacency lists, but adding a node may reallocate node storage and
- * invalidates any adjacency view (`inEdges`/`outEdges`/`flowPreds`/
- * `flowSuccs`) obtained earlier. Obtain the view after the last
- * `addNode`, or collect it with `toVector()` when nodes are created
- * while iterating.
+ * View validity: an adjacency view addresses the arena through the
+ * graph object (vector indirection) and snapshots the viewed node's
+ * span bounds at creation. It therefore stays valid - never dangles -
+ * across every mutation short of destroying/moving the graph:
+ * tombstoning (`removeNode`/`removeEdge`), `addNode`/`addReplica`,
+ * and `addEdge` anywhere. The one staleness rule: a view taken before
+ * an `addEdge` that appends to the *viewed* list keeps observing the
+ * pre-insertion snapshot (it misses newer edges; if the span
+ * relocated it reads the intact dead region). Take a fresh view after
+ * growing the list you iterate.
+ *
+ * The raw-span accessors (`inEdgesRaw()`/`outEdgesRaw()`) are the
+ * no-filter fast path for read-only kernels: they yield the whole
+ * span (tombstones included) as a borrowed pointer range, so the
+ * caller merges the `alive` check into the edge fetch it already
+ * does. Unlike the views they borrow arena storage directly and are
+ * invalidated by any subsequent `addEdge` (arena growth may
+ * reallocate); never hold one across a mutation.
  *
  * ## Generation counter
  *
@@ -114,12 +152,22 @@ struct DdgNode
      */
     bool liveOut = false;
     bool alive = true;
-    std::vector<EdgeId> out; //!< outgoing edge ids
-    std::vector<EdgeId> in;  //!< incoming edge ids
 };
 
 namespace detail
 {
+
+/**
+ * One node's span inside an adjacency arena: `count` edge ids stored
+ * at `offset`, with room for `capacity` before the span must relocate
+ * to fresh arena tail. Exactly-sized loads have capacity == count.
+ */
+struct AdjSlot
+{
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t capacity = 0;
+};
 
 /**
  * The one skip-filtering forward range behind every traversal view.
@@ -226,44 +274,52 @@ struct LiveSlotPolicy
     Id project(std::size_t i) const { return static_cast<Id>(i); }
 };
 
-/** Live edge ids of one adjacency list. */
+/**
+ * Live edge ids of one adjacency span. The arena is addressed through
+ * the owning vector (not a raw pointer) so the policy survives arena
+ * reallocation; the span bounds are a snapshot taken at creation.
+ */
 struct LiveAdjPolicy
 {
     using value_type = EdgeId;
 
-    const std::vector<EdgeId> *list = nullptr;
+    const std::vector<EdgeId> *arena = nullptr;
     const std::vector<DdgEdge> *edges = nullptr;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
 
-    std::size_t limit() const { return list->size(); }
+    std::size_t limit() const { return count; }
     bool admit(std::size_t i) const
     {
-        return (*edges)[(*list)[i]].alive;
+        return (*edges)[(*arena)[offset + i]].alive;
     }
-    EdgeId project(std::size_t i) const { return (*list)[i]; }
+    EdgeId project(std::size_t i) const { return (*arena)[offset + i]; }
 };
 
 /**
- * Live register-flow neighbours across one adjacency list: the edge's
- * src (producers, over an in-list) or dst (consumers, over an
- * out-list).
+ * Live register-flow neighbours across one adjacency span: the edge's
+ * src (producers, over an in-span) or dst (consumers, over an
+ * out-span).
  */
 struct FlowNeighborPolicy
 {
     using value_type = NodeId;
 
-    const std::vector<EdgeId> *list = nullptr;
+    const std::vector<EdgeId> *arena = nullptr;
     const std::vector<DdgEdge> *edges = nullptr;
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
     bool srcSide = false;
 
-    std::size_t limit() const { return list->size(); }
+    std::size_t limit() const { return count; }
     bool admit(std::size_t i) const
     {
-        const DdgEdge &e = (*edges)[(*list)[i]];
+        const DdgEdge &e = (*edges)[(*arena)[offset + i]];
         return e.alive && e.kind == EdgeKind::RegFlow;
     }
     NodeId project(std::size_t i) const
     {
-        const DdgEdge &e = (*edges)[(*list)[i]];
+        const DdgEdge &e = (*edges)[(*arena)[offset + i]];
         return srcSide ? e.src : e.dst;
     }
 };
@@ -291,38 +347,69 @@ using LiveNodeRange = LiveIdRange<DdgNode, NodeId>;
 using LiveEdgeRange = LiveIdRange<DdgEdge, EdgeId>;
 
 /**
- * Forward range over the live edge ids of one node's adjacency list
- * (`DdgNode::in` or `DdgNode::out`), skipping tombstoned edges in
- * place without allocating.
+ * Forward range over the live edge ids of one node's adjacency span,
+ * skipping tombstoned edges in place without allocating.
  */
 class LiveAdjRange
     : public detail::SkipFilterRange<detail::LiveAdjPolicy>
 {
   public:
-    LiveAdjRange(const std::vector<EdgeId> &list,
+    LiveAdjRange(const std::vector<EdgeId> &arena,
+                 const detail::AdjSlot &slot,
                  const std::vector<DdgEdge> &edges)
         : detail::SkipFilterRange<detail::LiveAdjPolicy>(
-              detail::LiveAdjPolicy{&list, &edges})
+              detail::LiveAdjPolicy{&arena, &edges, slot.offset,
+                                    slot.count})
     {
     }
 };
 
 /**
  * Forward range over the register-flow neighbours of one node: the
- * producers feeding it (`src` side of its in-list) or the consumers
- * reading it (`dst` side of its out-list). Skips tombstoned and
+ * producers feeding it (`src` side of its in-span) or the consumers
+ * reading it (`dst` side of its out-span). Skips tombstoned and
  * non-RegFlow edges in place.
  */
 class FlowNeighborRange
     : public detail::SkipFilterRange<detail::FlowNeighborPolicy>
 {
   public:
-    FlowNeighborRange(const std::vector<EdgeId> &list,
+    FlowNeighborRange(const std::vector<EdgeId> &arena,
+                      const detail::AdjSlot &slot,
                       const std::vector<DdgEdge> &edges, bool src_side)
         : detail::SkipFilterRange<detail::FlowNeighborPolicy>(
-              detail::FlowNeighborPolicy{&list, &edges, src_side})
+              detail::FlowNeighborPolicy{&arena, &edges, slot.offset,
+                                         slot.count, src_side})
     {
     }
+};
+
+/**
+ * Borrowed raw adjacency span: every incident edge id of one node in
+ * insertion order, tombstoned edges included. The fast path for
+ * read-only kernels, which merge the `alive` (and kind) filter into
+ * the edge fetch they already perform instead of paying the filtering
+ * view's extra indirections. Borrows arena storage directly: any
+ * subsequent `addEdge` may reallocate the arena, so never hold an
+ * EdgeSpan across a mutation.
+ */
+class EdgeSpan
+{
+  public:
+    EdgeSpan(const EdgeId *data, std::uint32_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const EdgeId *begin() const { return data_; }
+    const EdgeId *end() const { return data_ + size_; }
+    std::uint32_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    EdgeId operator[](std::uint32_t i) const { return data_[i]; }
+
+  private:
+    const EdgeId *data_;
+    std::uint32_t size_;
 };
 
 /**
@@ -335,11 +422,11 @@ class Ddg
     /**
      * Bulk-load a graph from fully-described slot arrays, the fast
      * path of suite deserialization (workloads/suite_io.hh): one
-     * generation stamp and exactly-reserved adjacency lists instead
-     * of per-element mutation calls. The caller fills every entity
-     * field except `id` and the adjacency lists (`in`/`out`), which
-     * are derived here: ids become the slot indices and each node's
-     * lists hold its incident edge ids in edge-id order - exactly the
+     * generation stamp and exactly-sized adjacency arenas (capacity
+     * == count, zero slack) instead of per-element mutation calls.
+     * The caller fills every entity field except `id`; adjacency is
+     * derived here: ids become the slot indices and each node's spans
+     * hold its incident edge ids in edge-id order - exactly the
      * state an addNode/addEdge/remove* replay would produce, so a
      * graph built this way is field-identical to its original.
      * Panics on inconsistent input (bad endpoints, live edges on dead
@@ -348,6 +435,21 @@ class Ddg
      */
     static Ddg fromSlots(std::vector<DdgNode> nodes,
                          std::vector<DdgEdge> edges);
+
+    /**
+     * The validated-input fast path of fromSlots: bit-identical
+     * output, but the consistency re-checks and the degree-counting
+     * pass are skipped - the caller attests it has already fully
+     * validated the slots (fromSlots' documented preconditions) and
+     * supplies each node's in/out degree, dead edges included.
+     * suite_io's deserializer computes the degrees for free inside
+     * its own validation loop; anyone loading untrusted bytes must
+     * use plain fromSlots.
+     */
+    static Ddg fromSlotsTrusted(std::vector<DdgNode> nodes,
+                                std::vector<DdgEdge> edges,
+                                const std::uint32_t *in_deg,
+                                const std::uint32_t *out_deg);
 
     /** Create an operation of class @p cls. */
     NodeId addNode(OpClass cls, std::string label = "");
@@ -405,6 +507,18 @@ class Ddg
     LiveAdjRange outEdges(NodeId id) const;
 
     /**
+     * Raw in-span of @p id: all incoming edge ids, tombstones
+     * included, borrowed from the arena (see EdgeSpan's validity
+     * caveat). The caller filters on `edge(id).alive` itself.
+     * Storage-level access: bounds-checked only, so dead node slots
+     * are readable (like `node()`/`edge()`).
+     */
+    EdgeSpan inEdgesRaw(NodeId id) const;
+
+    /** Raw out-span of @p id (see inEdgesRaw). */
+    EdgeSpan outEdgesRaw(NodeId id) const;
+
+    /**
      * Live register-flow producers of @p id (dedup not applied;
      * zero-allocation view).
      */
@@ -444,6 +558,13 @@ class Ddg
 
     std::vector<DdgNode> nodes_;
     std::vector<DdgEdge> edges_;
+    // CSR-style adjacency: one flat edge-id arena plus two spans per
+    // node slot, interleaved as slots_[2*id] = in, slots_[2*id+1] =
+    // out so a node's pair shares a cache line (and a suite load pays
+    // two allocations per graph, not four). See the header comment
+    // for the invariants and relocation rules.
+    std::vector<EdgeId> arena_;
+    std::vector<detail::AdjSlot> slots_;
     int liveNodes_ = 0;
     int liveEdges_ = 0;
     std::uint64_t generation_ = freshGeneration();

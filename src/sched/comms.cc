@@ -30,7 +30,11 @@ remoteClustersOf(const Ddg &ddg, const std::vector<int> &cluster_of,
               cluster_of[n] >= 0,
               "node ", node.label, " has no cluster");
 
-    for (NodeId succ : ddg.flowSuccs(n)) {
+    for (EdgeId eid : ddg.outEdgesRaw(n)) {
+        const DdgEdge &e = ddg.edge(eid);
+        if (!e.alive || e.kind != EdgeKind::RegFlow)
+            continue;
+        const NodeId succ = e.dst;
         // A consumer that is a copy of this very value does not
         // count; copies are inserted after this analysis runs.
         if (ddg.node(succ).cls == OpClass::Copy)

@@ -29,9 +29,9 @@ asapWithBusPenalty(const Ddg &ddg, const MachineConfig &mach,
 {
     est.assign(ddg.numNodeSlots(), 0);
     for (NodeId n : order) {
-        for (EdgeId eid : ddg.inEdges(n)) {
+        for (EdgeId eid : ddg.inEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.distance != 0)
+            if (!e.alive || e.distance != 0)
                 continue;
             int lat = ddg.edgeLatency(eid, mach);
             if (e.kind == EdgeKind::RegFlow &&
@@ -89,9 +89,9 @@ widthSweep(const Ddg &ddg, const MachineConfig &mach,
 
         last.assign(clusters, -1);
         max_dist.assign(clusters, 0);
-        for (EdgeId eid : ddg.outEdges(v)) {
+        for (EdgeId eid : ddg.outEdgesRaw(v)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.kind != EdgeKind::RegFlow)
+            if (!e.alive || e.kind != EdgeKind::RegFlow)
                 continue;
             const int c = cluster_of[e.dst];
             if (e.distance == 0)
@@ -270,9 +270,9 @@ PseudoScratch::bind(const Ddg &ddg, const MachineConfig &mach,
         ++producers;
         int *cnt = &consCnt_[static_cast<std::size_t>(n) *
                              static_cast<std::size_t>(clusters_)];
-        for (EdgeId eid : ddg.outEdges(n)) {
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.kind != EdgeKind::RegFlow)
+            if (!e.alive || e.kind != EdgeKind::RegFlow)
                 continue;
             dist_sum += e.distance;
             // A consumer that is a copy of this very value does not
@@ -326,9 +326,9 @@ PseudoScratch::applyMove(NodeId n, int to)
 
     // Every producer feeding n loses a consumer in `from` and gains
     // one in `to`.
-    for (EdgeId eid : ddg.inEdges(n)) {
+    for (EdgeId eid : ddg.inEdgesRaw(n)) {
         const DdgEdge &e = ddg.edge(eid);
-        if (e.kind != EdgeKind::RegFlow)
+        if (!e.alive || e.kind != EdgeKind::RegFlow)
             continue;
         const NodeId p = e.src;
         if (!tracked_[p])

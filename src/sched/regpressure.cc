@@ -41,9 +41,9 @@ computeMaxLive(const Ddg &ddg, const MachineConfig &mach,
             // cluster that consumes it.
             const int def = start[v] + mach.busLatency();
             std::vector<int> last(clusters, -1);
-            for (EdgeId eid : ddg.outEdges(v)) {
+            for (EdgeId eid : ddg.outEdgesRaw(v)) {
                 const DdgEdge &e = ddg.edge(eid);
-                if (e.kind != EdgeKind::RegFlow)
+                if (!e.alive || e.kind != EdgeKind::RegFlow)
                     continue;
                 const int c = part.clusterOf(e.dst);
                 last[c] = std::max(last[c],
@@ -59,9 +59,9 @@ computeMaxLive(const Ddg &ddg, const MachineConfig &mach,
             const int c = part.clusterOf(v);
             const int def = start[v] + mach.latency(node.cls);
             int last = -1;
-            for (EdgeId eid : ddg.outEdges(v)) {
+            for (EdgeId eid : ddg.outEdgesRaw(v)) {
                 const DdgEdge &e = ddg.edge(eid);
-                if (e.kind != EdgeKind::RegFlow)
+                if (!e.alive || e.kind != EdgeKind::RegFlow)
                     continue;
                 if (part.clusterOf(e.dst) != c)
                     continue;

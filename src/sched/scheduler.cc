@@ -108,18 +108,18 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
         // Placement window from already-scheduled neighbours.
         int early = intMin, late = intMax;
         bool has_pred = false, has_succ = false;
-        for (EdgeId eid : ddg.inEdges(v)) {
+        for (EdgeId eid : ddg.inEdgesRaw(v)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (!placed[e.src])
+            if (!e.alive || !placed[e.src])
                 continue;
             has_pred = true;
             early = std::max(early,
                              start[e.src] + eff_lat[eid] -
                                  ii * e.distance);
         }
-        for (EdgeId eid : ddg.outEdges(v)) {
+        for (EdgeId eid : ddg.outEdgesRaw(v)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (!placed[e.dst])
+            if (!e.alive || !placed[e.dst])
                 continue;
             has_succ = true;
             late = std::min(late, start[e.dst] - eff_lat[eid] +
@@ -207,19 +207,20 @@ scheduleAtIi(const Ddg &ddg, const MachineConfig &mach,
         const auto &fwd = memo.analyses.topo(ddg);
         for (auto it = fwd.rbegin(); it != fwd.rend(); ++it) {
             const NodeId v = *it;
-            const auto out = ddg.outEdges(v);
-            if (out.empty())
-                continue;
             long long late = std::numeric_limits<long long>::max();
-            for (EdgeId eid : out) {
+            bool has_out = false;
+            for (EdgeId eid : ddg.outEdgesRaw(v)) {
                 const DdgEdge &e = ddg.edge(eid);
+                if (!e.alive)
+                    continue;
+                has_out = true;
                 late = std::min(late,
                                 static_cast<long long>(start[e.dst]) +
                                     static_cast<long long>(ii) *
                                         e.distance -
                                     eff_lat[eid]);
             }
-            if (late <= start[v])
+            if (!has_out || late <= start[v])
                 continue;
 
             const DdgNode &node = ddg.node(v);

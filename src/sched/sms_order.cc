@@ -24,9 +24,9 @@ sccRecMii(const Ddg &ddg, const MachineConfig &mach,
     std::vector<FlatEdge> edges;
     bool has_cycle_edge = false;
     for (NodeId n : members) {
-        for (EdgeId eid : ddg.outEdges(n)) {
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (in[e.dst]) {
+            if (e.alive && in[e.dst]) {
                 edges.push_back({e.src, e.dst,
                                  ddg.edgeLatency(eid, mach),
                                  e.distance});
@@ -82,8 +82,9 @@ smsOrder(const Ddg &ddg, const MachineConfig &mach,
     auto is_recurrence = [&](const std::vector<NodeId> &members) {
         if (members.size() > 1)
             return true;
-        for (EdgeId eid : ddg.outEdges(members[0])) {
-            if (ddg.edge(eid).dst == members[0])
+        for (EdgeId eid : ddg.outEdgesRaw(members[0])) {
+            const DdgEdge &e = ddg.edge(eid);
+            if (e.alive && e.dst == members[0])
                 return true;
         }
         return false;
@@ -148,9 +149,9 @@ smsOrder(const Ddg &ddg, const MachineConfig &mach,
         const NodeId n = std::get<3>(*ready.begin());
         ready.erase(ready.begin());
         order.push_back(n);
-        for (EdgeId eid : ddg.outEdges(n)) {
+        for (EdgeId eid : ddg.outEdgesRaw(n)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.distance == 0 && --indeg[e.dst] == 0)
+            if (e.alive && e.distance == 0 && --indeg[e.dst] == 0)
                 ready.insert(key_of(e.dst));
         }
     }

@@ -73,9 +73,9 @@ ReferenceInterpreter::ReferenceInterpreter(const Ddg &original,
             // the transformed graph, where copies collapse to their
             // sources and replicas share semantic ids.
             std::vector<std::tuple<NodeId, int, std::uint64_t>> ops;
-            for (EdgeId eid : ddg_.inEdges(v)) {
+            for (EdgeId eid : ddg_.inEdgesRaw(v)) {
                 const DdgEdge &e = ddg_.edge(eid);
-                if (e.kind != EdgeKind::RegFlow)
+                if (!e.alive || e.kind != EdgeKind::RegFlow)
                     continue;
                 const long long src_iter =
                     static_cast<long long>(i) - e.distance;

@@ -29,12 +29,12 @@ void
 collapseTransparent(const Ddg &ddg, NodeId &p, int &distance)
 {
     while (isTransparent(ddg.node(p))) {
-        const auto in = ddg.inEdges(p);
         NodeId src = invalidNode;
-        for (EdgeId eid : in) {
+        for (EdgeId eid : ddg.inEdgesRaw(p)) {
             const DdgEdge &e = ddg.edge(eid);
-            if (e.kind == EdgeKind::RegFlow ||
-                e.kind == EdgeKind::Spill) {
+            if (e.alive &&
+                (e.kind == EdgeKind::RegFlow ||
+                 e.kind == EdgeKind::Spill)) {
                 src = e.src;
                 distance += e.distance;
                 break;
@@ -80,9 +80,9 @@ simulate(const Ddg &final_ddg, const MachineConfig &mach,
             // Gather operands in the canonical (semantic, distance,
             // value) order that the reference interpreter uses.
             std::vector<std::tuple<NodeId, int, std::uint64_t>> ops;
-            for (EdgeId eid : final_ddg.inEdges(v)) {
+            for (EdgeId eid : final_ddg.inEdgesRaw(v)) {
                 const DdgEdge &e = final_ddg.edge(eid);
-                if (e.kind == EdgeKind::Memory)
+                if (!e.alive || e.kind == EdgeKind::Memory)
                     continue;
                 const NodeId p = e.src;
                 const DdgNode &pn = final_ddg.node(p);

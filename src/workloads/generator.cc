@@ -184,7 +184,11 @@ struct ComponentBuilder
             while (!work.empty()) {
                 const NodeId v = work.back();
                 work.pop_back();
-                for (NodeId p : ddg.flowPreds(v)) {
+                for (EdgeId eid : ddg.inEdgesRaw(v)) {
+                    const DdgEdge &e = ddg.edge(eid);
+                    if (!e.alive || e.kind != EdgeKind::RegFlow)
+                        continue;
+                    const NodeId p = e.src;
                     if (seen[p])
                         continue;
                     seen[p] = true;

@@ -2,10 +2,10 @@
  * @file
  * Suite serialization: write the generated loop suite to a versioned
  * flat binary file and load it back bit-identically, so binaries stop
- * paying the ~9 ms `buildSuite` regeneration per process (the CMake
+ * paying the ~7 ms `buildSuite` regeneration per process (the CMake
  * build generates the cache once; see below).
  *
- * ## File format (version 1)
+ * ## File format (version 2)
  *
  * All multi-byte fields are little-endian and fixed-width; the layout
  * is a single flat sequence (mmap-friendly: no pointers, no
@@ -15,13 +15,14 @@
  * ```
  * header:
  *   u8[8]  magic       "CVSUITE\0"
- *   u32    version     1
+ *   u32    version     2
  *   u32    endianTag   0x01020304 (rejects foreign-endian writers)
  *   u64    seed        generator seed the suite was built from
  *   u32    loopCount
  *   u64    payloadSize bytes following the offset table
- *   u64    payloadFnv  FNV-1a(64) folded over LE 64-bit words of the
- *                      payload (+ remainder bytes + total length)
+ *   u64    payloadFnv  4-lane interleaved FNV-1a(64) over LE 64-bit
+ *                      words of the payload (+ remainder bytes +
+ *                      total length; see payloadDigest in the .cc)
  *   u64[loopCount] loopOffsets  byte offset of each loop record from
  *                      the payload start (strictly increasing, [0]=0)
  * payload, per loop:
@@ -43,8 +44,9 @@
  * clear message - never undefined behaviour. Version bumps are
  * append-only: readers reject versions they do not know. The offset
  * table makes loop records independently addressable, so big suites
- * deserialize on several threads (and a future reader could mmap the
- * file and materialize loops lazily).
+ * deserialize on several threads, and `SuiteCacheFile` materializes
+ * single records lazily for binaries that touch a few loops (e.g.
+ * perf_micro's sampled benches).
  *
  * ## Bit-identity contract
  *
@@ -71,6 +73,7 @@
 #define CVLIW_WORKLOADS_SUITE_IO_HH
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -106,6 +109,73 @@ void saveSuite(const std::vector<Loop> &suite, const std::string &path,
 std::vector<Loop> loadSuite(const std::string &path,
                             std::uint64_t *seed_out = nullptr);
 
+/** Cheap per-record facts readable without building a graph. */
+struct SuiteLoopInfo
+{
+    std::string benchmark; //!< benchmark the loop belongs to
+    int index = 0;         //!< loop index within the benchmark
+    int liveNodes = 0;     //!< live (non-tombstoned) DDG nodes
+};
+
+/**
+ * An open, validated suite cache: the file is read, the header parsed
+ * and the payload digest verified exactly once, after which records
+ * are independently addressable through the offset table. The lazy
+ * counterpart of `loadSuite` for binaries that touch a few loops:
+ * `loadLoop(i)` materializes one record (~1/678 of the parse and
+ * allocation work), and `scan()` skims every record's header facts
+ * without building any graph. All methods are const; a const
+ * SuiteCacheFile is safe to share across threads.
+ */
+class SuiteCacheFile
+{
+  public:
+    /** Open and validate @p path. @throws SuiteIoError */
+    explicit SuiteCacheFile(const std::string &path);
+    ~SuiteCacheFile();
+    SuiteCacheFile(SuiteCacheFile &&) noexcept;
+    SuiteCacheFile &operator=(SuiteCacheFile &&) noexcept;
+
+    const std::string &path() const { return path_; }
+    std::uint64_t seed() const { return seed_; }
+    std::uint32_t loopCount() const;
+
+    /**
+     * Materialize record @p record (0-based, in suite order). Fully
+     * validated; bit-identical to `loadSuite(path)[record]`.
+     * @throws SuiteIoError on a bad record index or malformed record
+     */
+    Loop loadLoop(std::uint32_t record) const;
+
+    /**
+     * Skim every record's benchmark, index and live node count -
+     * enough to pick records by name or size before materializing
+     * only the ones needed. O(payload bytes) but allocation-light:
+     * no graphs, no labels, no edge parsing.
+     * @throws SuiteIoError on a malformed record header
+     */
+    std::vector<SuiteLoopInfo> scan() const;
+
+  private:
+    // loadSuite shares the validated byte buffer for its parallel
+    // whole-suite parse instead of re-validating per record.
+    friend std::vector<Loop> loadSuite(const std::string &,
+                                       std::uint64_t *);
+
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    std::string path_;
+    std::uint64_t seed_ = 0;
+};
+
+/**
+ * Convenience single-record load: open + validate @p path and
+ * materialize just record @p record. Callers loading several records
+ * should hold a `SuiteCacheFile` instead (one validation pass).
+ * @throws SuiteIoError
+ */
+Loop loadSuiteLoop(const std::string &path, std::uint32_t record);
+
 /**
  * The suite cache path binaries should try first: the
  * `CVLIW_SUITE_CACHE` environment variable if set, else the path
@@ -115,7 +185,7 @@ std::string defaultSuiteCachePath();
 
 /**
  * The fast path to a suite: load `defaultSuiteCachePath()` when it
- * holds a valid cache for @p seed (~3.5 ms single-core vs ~9 ms
+ * holds a valid cache for @p seed (~1.2 ms single-core vs ~7 ms
  * generation; multi-core loads parse records in parallel), else
  * generate with `buildSuite(seed)`. Never throws: any cache problem
  * falls back to generation.

@@ -13,8 +13,11 @@
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "core/replicator.hh"
 #include "ddg/analysis.hh"
 #include "ddg/ddg.hh"
+#include "partition/partition.hh"
+#include "support/rng.hh"
 #include "paper_graph.hh"
 
 namespace cvliw
@@ -231,6 +234,257 @@ TEST(DdgViews, CompileResultsUnchangedByMigration)
     EXPECT_EQ(r2.schedule.length, r.schedule.length);
     EXPECT_EQ(r2.schedule.maxLive, r.schedule.maxLive);
     EXPECT_EQ(r2.schedule.start, r.schedule.start);
+}
+
+// ---------------------------------------------------------------------
+// Adjacency-arena contracts: span relocation and view validity.
+
+TEST(DdgArena, ViewSnapshotSurvivesSpanRelocation)
+{
+    Ddg g;
+    const NodeId a = g.addNode(OpClass::IntAlu, "a");
+    std::vector<NodeId> sinks;
+    for (int i = 0; i < 12; ++i)
+        sinks.push_back(g.addNode(OpClass::Store, "s" + std::to_string(i)));
+    const EdgeId first = g.addEdge(a, sinks[0], EdgeKind::RegFlow, 0);
+
+    // Snapshot a's out-view with one edge, then grow a's span far
+    // enough to force at least one relocation (initial capacity is
+    // small, growth doubles). The stale view must keep yielding the
+    // pre-insertion snapshot - never garbage, never the new edges.
+    const LiveAdjRange before = g.outEdges(a);
+    for (int i = 1; i < 12; ++i)
+        g.addEdge(a, sinks[i], EdgeKind::RegFlow, 0);
+    EXPECT_EQ(before.toVector(), std::vector<EdgeId>{first});
+    EXPECT_EQ(g.outEdges(a).size(), 12u); // fresh view sees all
+}
+
+TEST(DdgArena, ViewsSurviveMutationsOfOtherNodes)
+{
+    SmallGraph s;
+    const LiveAdjRange a_out = s.g.outEdges(s.a);
+    const std::vector<EdgeId> expect = a_out.toVector();
+
+    // addNode/addReplica (node storage growth) and addEdge on other
+    // nodes (arena growth, possibly relocating *their* spans) must
+    // not perturb a's view.
+    const NodeId d = s.g.addNode(OpClass::IntAlu, "d");
+    const NodeId r = s.g.addReplica(s.b, ".r");
+    for (int i = 0; i < 8; ++i)
+        s.g.addEdge(s.b, d, EdgeKind::RegFlow, i);
+    s.g.addEdge(s.b, r, EdgeKind::RegFlow, 0);
+    EXPECT_EQ(a_out.toVector(), expect);
+}
+
+/**
+ * The naive representation the arena replaced: one id vector per
+ * node and side. Everything observable about arena adjacency must
+ * stay equal to this oracle under any mutation interleaving.
+ */
+struct AdjOracle
+{
+    std::vector<std::vector<EdgeId>> in, out;
+
+    void onNode() { in.emplace_back(), out.emplace_back(); }
+    void onEdge(const Ddg &g, EdgeId e)
+    {
+        out[g.edge(e).src].push_back(e);
+        in[g.edge(e).dst].push_back(e);
+    }
+
+    static std::vector<EdgeId> liveOf(const Ddg &g,
+                                      const std::vector<EdgeId> &ids)
+    {
+        std::vector<EdgeId> live;
+        for (EdgeId e : ids) {
+            if (g.edge(e).alive)
+                live.push_back(e);
+        }
+        return live;
+    }
+
+    static std::vector<NodeId> flowOf(const Ddg &g,
+                                      const std::vector<EdgeId> &ids,
+                                      bool src_side)
+    {
+        std::vector<NodeId> res;
+        for (EdgeId e : ids) {
+            const DdgEdge &de = g.edge(e);
+            if (de.alive && de.kind == EdgeKind::RegFlow)
+                res.push_back(src_side ? de.src : de.dst);
+        }
+        return res;
+    }
+
+    void check(const Ddg &g) const
+    {
+        ASSERT_EQ(g.numNodeSlots(), static_cast<int>(in.size()));
+        for (NodeId n = 0; n < g.numNodeSlots(); ++n) {
+            // Raw spans: exact id sequence, tombstones included,
+            // readable on dead slots too.
+            const EdgeSpan ri = g.inEdgesRaw(n), ro = g.outEdgesRaw(n);
+            ASSERT_EQ(std::vector<EdgeId>(ri.begin(), ri.end()), in[n])
+                << "in-span of node " << n;
+            ASSERT_EQ(std::vector<EdgeId>(ro.begin(), ro.end()), out[n])
+                << "out-span of node " << n;
+            if (!g.node(n).alive)
+                continue;
+            // Filtering views over live nodes.
+            ASSERT_EQ(g.inEdges(n).toVector(), liveOf(g, in[n]))
+                << "inEdges of node " << n;
+            ASSERT_EQ(g.outEdges(n).toVector(), liveOf(g, out[n]))
+                << "outEdges of node " << n;
+            ASSERT_EQ(g.flowPreds(n).toVector(), flowOf(g, in[n], true))
+                << "flowPreds of node " << n;
+            ASSERT_EQ(g.flowSuccs(n).toVector(),
+                      flowOf(g, out[n], false))
+                << "flowSuccs of node " << n;
+        }
+    }
+};
+
+/**
+ * Mutation fuzz: random interleavings of addNode / addEdge /
+ * addReplica / removeNode / removeEdge / removeDeadCode against the
+ * oracle. Exercises span growth through relocation (many edges on one
+ * node), tombstoning, and bulk sweeps - the mutations the arena's
+ * amortized-growth rules must keep exact.
+ */
+TEST(DdgArena, MutationFuzzMatchesVectorOracle)
+{
+    Rng rng(20260730);
+    for (int round = 0; round < 8; ++round) {
+        Ddg g;
+        AdjOracle oracle;
+        std::vector<NodeId> live_nodes;
+        std::vector<EdgeId> live_edges;
+
+        auto spawn = [&](OpClass cls) {
+            const NodeId n = g.addNode(cls);
+            oracle.onNode();
+            if (rng.chance(0.3))
+                g.node(n).liveOut = true;
+            live_nodes.push_back(n);
+            return n;
+        };
+        auto pickProducer = [&]() -> NodeId {
+            for (int tries = 0; tries < 32; ++tries) {
+                const NodeId n = live_nodes[static_cast<std::size_t>(
+                    rng.uniformInt(0, live_nodes.size() - 1))];
+                if (producesValue(g.node(n).cls))
+                    return n;
+            }
+            return invalidNode;
+        };
+
+        for (int i = 0; i < 4; ++i)
+            spawn(OpClass::IntAlu);
+
+        for (int step = 0; step < 300; ++step) {
+            const std::size_t op =
+                rng.weightedIndex({3, 6, 2, 1, 1, 0.5});
+            if (op == 0) { // addNode
+                const double pick = rng.uniformReal();
+                spawn(pick < 0.5   ? OpClass::IntAlu
+                      : pick < 0.7 ? OpClass::FpAlu
+                      : pick < 0.9 ? OpClass::Load
+                                   : OpClass::Store);
+            } else if (op == 1) { // addEdge
+                const NodeId dst = live_nodes[static_cast<std::size_t>(
+                    rng.uniformInt(0, live_nodes.size() - 1))];
+                const bool mem = rng.chance(0.25);
+                const NodeId src =
+                    mem ? live_nodes[static_cast<std::size_t>(
+                              rng.uniformInt(0, live_nodes.size() - 1))]
+                        : pickProducer();
+                if (src == invalidNode)
+                    continue;
+                const EdgeId e = g.addEdge(
+                    src, dst,
+                    mem ? EdgeKind::Memory : EdgeKind::RegFlow,
+                    static_cast<int>(rng.uniformInt(0, 3)));
+                oracle.onEdge(g, e);
+                live_edges.push_back(e);
+            } else if (op == 2) { // addReplica
+                const NodeId orig =
+                    live_nodes[static_cast<std::size_t>(
+                        rng.uniformInt(0, live_nodes.size() - 1))];
+                const NodeId r = g.addReplica(orig, ".r");
+                oracle.onNode();
+                live_nodes.push_back(r);
+            } else if (op == 3 && live_nodes.size() > 4) { // removeNode
+                const std::size_t k = static_cast<std::size_t>(
+                    rng.uniformInt(0, live_nodes.size() - 1));
+                g.removeNode(live_nodes[k]);
+                live_nodes.erase(live_nodes.begin() + k);
+            } else if (op == 4 && !live_edges.empty()) { // removeEdge
+                const std::size_t k = static_cast<std::size_t>(
+                    rng.uniformInt(0, live_edges.size() - 1));
+                if (g.edge(live_edges[k]).alive)
+                    g.removeEdge(live_edges[k]);
+                live_edges.erase(live_edges.begin() + k);
+            } else if (op == 5) { // removeDeadCode sweep
+                Partition part(1, g.numNodeSlots());
+                for (NodeId n : g.nodes())
+                    part.assign(n, 0);
+                ReplicaIndex index(g, part);
+                std::vector<NodeId> removed;
+                removeDeadCode(g, part, index, nullptr, &removed);
+                for (NodeId n : removed) {
+                    live_nodes.erase(std::remove(live_nodes.begin(),
+                                                 live_nodes.end(), n),
+                                     live_nodes.end());
+                }
+                // A sweep may drain everything when no store/live-out
+                // root survived; keep the op mix meaningful.
+                while (live_nodes.size() < 2)
+                    spawn(OpClass::IntAlu);
+            }
+            if (step % 25 == 0)
+                oracle.check(g);
+        }
+        oracle.check(g);
+
+        // Tombstone accounting survives the whole interleaving.
+        int alive_nodes = 0;
+        for (NodeId n = 0; n < g.numNodeSlots(); ++n)
+            alive_nodes += g.node(n).alive ? 1 : 0;
+        EXPECT_EQ(alive_nodes, g.numNodes());
+        int alive_edges = 0;
+        for (EdgeId e = 0; e < g.numEdgeSlots(); ++e)
+            alive_edges += g.edge(e).alive ? 1 : 0;
+        EXPECT_EQ(alive_edges, g.numEdges());
+    }
+}
+
+/** A graph rebuilt by fromSlots must carry exactly-sized spans that
+ *  still grow correctly when mutated afterwards. */
+TEST(DdgArena, FromSlotsCompactArenaGrowsAfterLoad)
+{
+    SmallGraph s;
+    s.g.removeEdge(s.bc);
+
+    // Round-trip through slot arrays (what suite deserialization does).
+    std::vector<DdgNode> nodes;
+    for (NodeId n = 0; n < s.g.numNodeSlots(); ++n)
+        nodes.push_back(s.g.node(n));
+    std::vector<DdgEdge> edges;
+    for (EdgeId e = 0; e < s.g.numEdgeSlots(); ++e)
+        edges.push_back(s.g.edge(e));
+    Ddg loaded = Ddg::fromSlots(std::move(nodes), std::move(edges));
+
+    for (NodeId n = 0; n < s.g.numNodeSlots(); ++n) {
+        const EdgeSpan a = s.g.inEdgesRaw(n), b = loaded.inEdgesRaw(n);
+        EXPECT_EQ(std::vector<EdgeId>(a.begin(), a.end()),
+                  std::vector<EdgeId>(b.begin(), b.end()));
+    }
+
+    // Post-load mutations relocate the exactly-sized spans.
+    const NodeId d = loaded.addNode(OpClass::Store, "d");
+    const EdgeId ad = loaded.addEdge(s.a, d, EdgeKind::RegFlow, 0);
+    std::vector<EdgeId> out_a = loaded.outEdges(s.a).toVector();
+    EXPECT_EQ(out_a.back(), ad);
+    EXPECT_EQ(out_a.size(), s.g.outEdges(s.a).size() + 1);
 }
 
 } // namespace

@@ -76,8 +76,16 @@ expectDdgIdentical(const Ddg &a, const Ddg &b)
         EXPECT_EQ(x.isSpill, y.isSpill) << "node " << n;
         EXPECT_EQ(x.liveOut, y.liveOut) << "node " << n;
         EXPECT_EQ(x.alive, y.alive) << "node " << n;
-        EXPECT_EQ(x.in, y.in) << "node " << n;
-        EXPECT_EQ(x.out, y.out) << "node " << n;
+        // Adjacency spans (tombstoned slots included) must hold the
+        // same edge ids in the same insertion order.
+        const EdgeSpan ai = a.inEdgesRaw(n), bi = b.inEdgesRaw(n);
+        EXPECT_EQ(std::vector<EdgeId>(ai.begin(), ai.end()),
+                  std::vector<EdgeId>(bi.begin(), bi.end()))
+            << "node " << n;
+        const EdgeSpan ao = a.outEdgesRaw(n), bo = b.outEdgesRaw(n);
+        EXPECT_EQ(std::vector<EdgeId>(ao.begin(), ao.end()),
+                  std::vector<EdgeId>(bo.begin(), bo.end()))
+            << "node " << n;
     }
     for (EdgeId e = 0; e < a.numEdgeSlots(); ++e) {
         const DdgEdge &x = a.edge(e);
@@ -168,6 +176,58 @@ TEST(SuiteIo, RejectsMissingFile)
 {
     EXPECT_THROW(loadSuite("/nonexistent/no/such.cvsuite"),
                  SuiteIoError);
+    EXPECT_THROW(loadSuiteLoop("/nonexistent/no/such.cvsuite", 0),
+                 SuiteIoError);
+}
+
+TEST(SuiteIo, LazySingleLoopLoadMatchesFullLoad)
+{
+    const auto built = buildBenchmark("applu");
+    TempFile file("lazy.cvsuite");
+    saveSuite(built, file.path(), 42);
+
+    const SuiteCacheFile cache(file.path());
+    EXPECT_EQ(cache.seed(), 42u);
+    ASSERT_EQ(cache.loopCount(), built.size());
+
+    // Every record materialized alone (first, middle, last) is
+    // bit-identical to the same slot of the eager load.
+    for (std::uint32_t i :
+         {std::uint32_t{0},
+          static_cast<std::uint32_t>(built.size() / 2),
+          static_cast<std::uint32_t>(built.size() - 1)}) {
+        const Loop lazy = cache.loadLoop(i);
+        SCOPED_TRACE("record " + std::to_string(i));
+        EXPECT_EQ(lazy.benchmark, built[i].benchmark);
+        EXPECT_EQ(lazy.index, built[i].index);
+        EXPECT_EQ(lazy.profile.visits, built[i].profile.visits);
+        expectDdgIdentical(built[i].ddg, lazy.ddg);
+    }
+
+    // The one-shot convenience agrees.
+    const Loop one = loadSuiteLoop(file.path(), 1);
+    EXPECT_EQ(one.benchmark, built[1].benchmark);
+    expectDdgIdentical(built[1].ddg, one.ddg);
+
+    EXPECT_THROW(cache.loadLoop(cache.loopCount()), SuiteIoError);
+}
+
+TEST(SuiteIo, ScanSkimsRecordFactsWithoutGraphs)
+{
+    const auto built = buildSuite(42);
+    TempFile file("scan.cvsuite");
+    saveSuite(built, file.path(), 42);
+
+    const SuiteCacheFile cache(file.path());
+    const auto infos = cache.scan();
+    ASSERT_EQ(infos.size(), built.size());
+    for (std::size_t i = 0; i < built.size(); ++i) {
+        EXPECT_EQ(infos[i].benchmark, built[i].benchmark)
+            << "record " << i;
+        EXPECT_EQ(infos[i].index, built[i].index) << "record " << i;
+        EXPECT_EQ(infos[i].liveNodes, built[i].ddg.numNodes())
+            << "record " << i;
+    }
 }
 
 TEST(SuiteIo, RejectsTruncationAtEveryRegion)
