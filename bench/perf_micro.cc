@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -23,6 +24,7 @@
 #include "core/pipeline.hh"
 #include "core/replicator.hh"
 #include "ddg/analysis.hh"
+#include "eval/frontier.hh"
 #include "eval/service.hh"
 #include "partition/multilevel.hh"
 #include "partition/refine.hh"
@@ -402,6 +404,69 @@ BM_BatchCompileMultiConfig(benchmark::State &state)
                    " loops x 3 configs");
 }
 BENCHMARK(BM_BatchCompileMultiConfig)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The multi-tenant serving shape (eval/frontier.hh): a large
+ * low-priority background sweep (half the suite) shares the pool
+ * with a small high-priority batch submitted right after it. The
+ * frontier must let the urgent tenant overtake: its latency is
+ * reported as the hi_latency_ms counter, and the overtake counter
+ * stays 1.0 as long as every iteration saw the high-priority batch
+ * finish while the background one was still running - the acceptance
+ * criterion of the serving-frontier PR. Total iteration time (both
+ * batches drained) is the measured number, comparable to
+ * BM_BatchCompile's per-suite cost.
+ */
+void
+BM_FrontierMixedTenants(benchmark::State &state)
+{
+    std::vector<Loop> background_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 2)
+        background_loops.push_back(suite()[i]);
+    std::vector<Loop> urgent_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 48)
+        urgent_loops.push_back(suite()[i]);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    auto jobs = [&](const std::vector<Loop> &loops) {
+        std::vector<Frontier::Job> js(loops.size());
+        for (std::size_t i = 0; i < loops.size(); ++i)
+            js[i] = Frontier::Job{&loops[i].ddg, &m, nullptr};
+        return js;
+    };
+
+    Frontier frontier;
+    double overtakes = 0;
+    double hi_latency_ms = 0;
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        auto background = frontier.submit(jobs(background_loops),
+                                          /*priority=*/0);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto urgent = frontier.submit(jobs(urgent_loops),
+                                      /*priority=*/10);
+        urgent.wait();
+        const auto t1 = std::chrono::steady_clock::now();
+        overtakes += background.status().done ? 0.0 : 1.0;
+        hi_latency_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        ++iterations;
+        background.wait();
+    }
+    state.counters["overtake"] =
+        iterations ? overtakes / static_cast<double>(iterations) : 0.0;
+    state.counters["hi_latency_ms"] =
+        iterations ? hi_latency_ms / static_cast<double>(iterations)
+                   : 0.0;
+    state.SetLabel(std::to_string(frontier.numWorkers()) +
+                   " workers, " +
+                   std::to_string(background_loops.size()) +
+                   " background + " +
+                   std::to_string(urgent_loops.size()) +
+                   " high-priority loops");
+}
+BENCHMARK(BM_FrontierMixedTenants)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -138,6 +138,16 @@ compile(const Ddg &original, const MachineConfig &mach,
             result.comsFinal = 0;
         }
 
+        // Copy-mutate-retry boundary: the replication pass grew the
+        // work graph through span relocations, leaving dead arena
+        // regions behind. Repack to fromSlots density (adjacency
+        // preserved bit-for-bit; debug builds assert it) before the
+        // graph is copied below and walked by the scheduler - the two
+        // copies and every later traversal then touch the minimal
+        // arena. No views are live here: the passes above take and
+        // drop their own.
+        work.compact();
+
         // Keep the pre-copy graph: section 5.1 replication works on
         // it after a successful schedule.
         Ddg pre_copy = work;
@@ -200,6 +210,10 @@ compile(const Ddg &original, const MachineConfig &mach,
             reduceScheduleLength(result, pre_copy, pre_copy_part,
                                  mach, sched_opts);
         }
+        // The returned graph is the long-lived one (callers keep it
+        // for simulation and metrics): hand it back without the slack
+        // that copy insertion / spilling / length replication grew.
+        result.finalDdg.compact();
         return result;
     }
 

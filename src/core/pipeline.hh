@@ -84,14 +84,21 @@ struct CompileResult
 /**
  * Long-lived scratch and memo state for one compile worker. The
  * pipeline allocates all of its reusable buffers here, so a caller
- * that compiles many loops (the suite runner, `CompileService`)
- * amortizes every allocation across jobs instead of paying it per
- * compile. Safe to reuse across arbitrary graphs *and* machine
- * configs: every memo inside is keyed on (`Ddg::generation()`,
- * `MachineConfig::id()`), so a cache hit can never surface a result
- * computed for a different graph or machine. One instance serves one
- * thread; results are bit-identical whether a cache is fresh or has
- * served a thousand other jobs.
+ * that compiles many loops (the suite runner, the serving frontier's
+ * workers) amortizes every allocation across jobs instead of paying
+ * it per compile. Safe to reuse across arbitrary graphs *and* machine
+ * configs - and, under the multi-tenant frontier (eval/frontier.hh),
+ * across *batches from unrelated clients*: every memo inside is keyed
+ * on (`Ddg::generation()`, `MachineConfig::id()`). Generation stamps
+ * are process-unique and advance on every structural mutation, and
+ * config ids are process-unique and re-stamped by `setLatency`, so a
+ * cache hit can never surface a result computed for a different graph
+ * or machine no matter which tenant's job warmed the entry (the
+ * PseudoScratch memo inside additionally re-binds per (ddg, mach, ii)
+ * and the reservation-table pool is reset per schedule attempt -
+ * nothing keyed more weakly leaks across jobs). One instance serves
+ * one thread; results are bit-identical whether a cache is fresh or
+ * has served a thousand other jobs from any mix of batches.
  */
 struct CompileCaches
 {

@@ -134,6 +134,53 @@ Ddg::fromSlotsTrusted(std::vector<DdgNode> nodes,
     return g;
 }
 
+void
+Ddg::compact()
+{
+    // Already at fromSlots density? arena_.size() == sum(count) holds
+    // exactly when no span carries slack (capacity > count) and no
+    // dead region was left behind by a relocation.
+    std::size_t total = 0;
+    for (const detail::AdjSlot &s : slots_)
+        total += s.count;
+    if (arena_.size() == total)
+        return;
+
+#ifndef NDEBUG
+    // Adjacency must survive bit-for-bit: same edge ids, same order,
+    // per span. Snapshot before repacking, verify after.
+    const std::vector<EdgeId> pre_arena = arena_;
+    const std::vector<detail::AdjSlot> pre_slots = slots_;
+#endif
+
+    std::vector<EdgeId> packed(total);
+    std::uint32_t off = 0;
+    for (detail::AdjSlot &s : slots_) {
+        for (std::uint32_t i = 0; i < s.count; ++i)
+            packed[off + i] = arena_[s.offset + i];
+        s.offset = off;
+        s.capacity = s.count;
+        off += s.count;
+    }
+    arena_ = std::move(packed);
+
+#ifndef NDEBUG
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+        const detail::AdjSlot &now = slots_[n];
+        const detail::AdjSlot &was = pre_slots[n];
+        cv_assert(now.count == was.count,
+                  "compact changed a span's length");
+        for (std::uint32_t i = 0; i < now.count; ++i) {
+            cv_assert(arena_[now.offset + i] ==
+                          pre_arena[was.offset + i],
+                      "compact changed adjacency content");
+        }
+    }
+#endif
+    // No generation bump: the graph's structure (nodes, edges,
+    // traversal order) is untouched; only the arena layout moved.
+}
+
 NodeId
 Ddg::addNode(OpClass cls, std::string label)
 {

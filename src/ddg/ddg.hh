@@ -39,7 +39,9 @@
  *    (capacity == count, zero slack, no relocation ever happened) -
  *    the compact layout every deserialized graph starts from;
  *  - the arenas only ever grow; `removeNode`/`removeEdge` tombstone
- *    edges but never move spans.
+ *    edges but never move spans. The one exception is an explicit
+ *    `compact()` call, which repacks every span to fromSlots density
+ *    (and invalidates outstanding views; see its comment).
  *
  * ## Traversal views
  *
@@ -549,6 +551,29 @@ class Ddg
      * relevant fields through the non-const node()/edge() accessors.
      */
     void bumpGeneration() { generation_ = freshGeneration(); }
+
+    /**
+     * Squeeze the adjacency arena back to `fromSlots` density:
+     * every span packed back-to-back in node order with capacity ==
+     * count, dead regions left behind by span relocations discarded.
+     * A graph that grew through heavy replication carries those dead
+     * regions (never reused by design; see the arena invariants)
+     * until destruction; compaction reclaims them for long-lived
+     * graphs, e.g. at the pipeline's copy-mutate-retry boundary
+     * before the graph is copied or retained. Adjacency content and
+     * order are preserved exactly - traversals, and therefore every
+     * compile decision, are unchanged (asserted field-for-field in
+     * debug builds) - and the generation stamp does not advance
+     * (structure is identical). No-op when already compact.
+     *
+     * **The one view-invalidating operation:** compaction moves span
+     * offsets, so every outstanding filtering view (inEdges/outEdges/
+     * flowPreds/flowSuccs) and raw span (inEdgesRaw/outEdgesRaw) of
+     * this graph is invalidated - the exception to the views'
+     * survive-every-mutation contract. Call only at quiescent
+     * boundaries with no views held.
+     */
+    void compact();
 
   private:
     static std::uint64_t freshGeneration();

@@ -1,0 +1,364 @@
+#include "eval/frontier.hh"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+
+#include "support/logging.hh"
+
+namespace cvliw
+{
+
+namespace detail
+{
+
+/**
+ * Per-batch bookkeeping, shared (shared_ptr) between the frontier's
+ * ready list, the workers running its jobs and every BatchHandle the
+ * client copied. All fields except `results` are guarded by the
+ * owning FrontierState's mutex; `results[i]` is written lock-free by
+ * the one worker that claimed job i and read by clients only after
+ * they observed `done` under the mutex (mutex release/acquire orders
+ * the slot write before the read).
+ */
+struct BatchControl
+{
+    // Immutable after submit().
+    std::vector<Frontier::Job> jobs;
+    int priority = 0;
+    std::uint64_t seq = 0; //!< submission order, the priority tie-break
+    std::shared_ptr<FrontierState> state;
+
+    // Guarded by state->mutex.
+    std::size_t next = 0;     //!< next unclaimed job (FIFO in batch)
+    std::size_t inFlight = 0; //!< claimed, compile still running
+    std::size_t compiled = 0; //!< compiles finished
+    bool cancelled = false;
+    bool done = false;
+
+    std::vector<CompileResult> results;
+    std::vector<char> ran; //!< 1 = compiled (vs dropped by cancel)
+
+    bool exhausted() const
+    {
+        return cancelled || next >= jobs.size();
+    }
+};
+
+/**
+ * Everything the workers and the batch handles synchronize on. Held
+ * by shared_ptr from the Frontier *and* every BatchControl, so a
+ * handle can keep waiting/cancelling safely after the frontier object
+ * is gone (by then the destructor has drained every batch, so those
+ * calls return immediately - but they must not touch a dead mutex).
+ */
+struct FrontierState
+{
+    std::mutex mutex;
+    std::condition_variable workCv; //!< workers: ready work or stop
+    std::condition_variable doneCv; //!< clients: some batch completed
+    bool stopping = false;
+    std::uint64_t seqCounter = 0;
+
+    /**
+     * The frontier proper: every batch that still has unclaimed jobs,
+     * in submission order. Claim-time selection scans for the best
+     * (priority, then seq) entry - O(batches in flight) per claim,
+     * which is noise next to a compile job, and keeps insertion,
+     * cancellation and exhaustion all O(1)-ish with no heap to rebalance.
+     */
+    std::vector<std::shared_ptr<BatchControl>> ready;
+
+    /** Drop @p ctl from the ready list (claim-exhausted or cancelled). */
+    void unqueue(const BatchControl *ctl)
+    {
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            if (ready[i].get() == ctl) {
+                ready.erase(ready.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                return;
+            }
+        }
+    }
+
+    /**
+     * Highest-priority batch with unclaimed jobs; ties go to the
+     * earliest submission. Null when the frontier is empty. Returned
+     * as shared ownership so the claiming worker can hold the control
+     * block across its unlocked compile (cancel() may drop the batch
+     * from `ready`, its only other owner besides client handles).
+     */
+    std::shared_ptr<BatchControl> best() const
+    {
+        std::shared_ptr<BatchControl> pick;
+        for (const auto &ctl : ready) {
+            if (!pick || ctl->priority > pick->priority ||
+                (ctl->priority == pick->priority &&
+                 ctl->seq < pick->seq)) {
+                pick = ctl;
+            }
+        }
+        return pick;
+    }
+};
+
+namespace
+{
+
+/** Mark @p ctl complete and wake its waiters. Caller holds the mutex. */
+void
+finishBatch(BatchControl &ctl)
+{
+    ctl.done = true;
+    ctl.state->doneCv.notify_all();
+}
+
+} // namespace
+
+} // namespace detail
+
+using detail::BatchControl;
+using detail::FrontierState;
+
+// --- BatchHandle -----------------------------------------------------
+
+Frontier::BatchHandle::BatchHandle() = default;
+Frontier::BatchHandle::~BatchHandle() = default;
+Frontier::BatchHandle::BatchHandle(const BatchHandle &) = default;
+Frontier::BatchHandle::BatchHandle(BatchHandle &&) noexcept = default;
+Frontier::BatchHandle &
+Frontier::BatchHandle::operator=(const BatchHandle &) = default;
+Frontier::BatchHandle &
+Frontier::BatchHandle::operator=(BatchHandle &&) noexcept = default;
+
+Frontier::BatchHandle::BatchHandle(std::shared_ptr<BatchControl> ctl)
+    : ctl_(std::move(ctl))
+{
+}
+
+std::size_t
+Frontier::BatchHandle::size() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    return ctl_->jobs.size();
+}
+
+int
+Frontier::BatchHandle::priority() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    return ctl_->priority;
+}
+
+void
+Frontier::BatchHandle::wait() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    std::unique_lock<std::mutex> lock(ctl_->state->mutex);
+    ctl_->state->doneCv.wait(lock, [&] { return ctl_->done; });
+}
+
+Frontier::BatchStatus
+Frontier::BatchHandle::status() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    BatchStatus s;
+    s.done = ctl_->done;
+    s.cancelled = ctl_->cancelled;
+    s.compiled = ctl_->compiled;
+    s.total = ctl_->jobs.size();
+    s.dropped = ctl_->cancelled ? ctl_->jobs.size() - ctl_->next : 0;
+    return s;
+}
+
+const std::vector<CompileResult> *
+Frontier::BatchHandle::tryResults() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    return ctl_->done ? &ctl_->results : nullptr;
+}
+
+const std::vector<CompileResult> &
+Frontier::BatchHandle::results() const
+{
+    wait();
+    return ctl_->results;
+}
+
+std::vector<CompileResult>
+Frontier::BatchHandle::take()
+{
+    cv_assert(ctl_, "empty batch handle");
+    std::unique_lock<std::mutex> lock(ctl_->state->mutex);
+    ctl_->state->doneCv.wait(lock, [&] { return ctl_->done; });
+    // Moved under the mutex, so it cannot tear a concurrent
+    // results()/tryResults() call on another handle copy. Readers
+    // that already hold the results reference are the caller's to
+    // exclude (see the header contract).
+    return std::move(ctl_->results);
+}
+
+bool
+Frontier::BatchHandle::ran(std::size_t i) const
+{
+    cv_assert(ctl_, "empty batch handle");
+    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    return ctl_->ran[i] != 0;
+}
+
+std::size_t
+Frontier::BatchHandle::cancel() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    BatchControl &ctl = *ctl_;
+    std::lock_guard<std::mutex> lock(ctl.state->mutex);
+    if (ctl.done || ctl.cancelled)
+        return 0; // idempotent; finished batches are left intact
+    ctl.cancelled = true;
+    const std::size_t dropped = ctl.jobs.size() - ctl.next;
+    ctl.state->unqueue(&ctl);
+    // In-flight jobs finish cooperatively; the last one completes the
+    // batch. With nothing in flight the batch is done right here.
+    if (ctl.inFlight == 0)
+        detail::finishBatch(ctl);
+    return dropped;
+}
+
+// --- Frontier --------------------------------------------------------
+
+int
+Frontier::defaultWorkerCount()
+{
+    if (const char *env = std::getenv("CVLIW_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+Frontier::Frontier(int workers)
+    : state_(std::make_shared<FrontierState>())
+{
+    if (workers <= 0)
+        workers = defaultWorkerCount();
+    caches_.resize(static_cast<std::size_t>(workers));
+    workers_.reserve(static_cast<std::size_t>(workers));
+    try {
+        for (int w = 0; w < workers; ++w) {
+            workers_.emplace_back([this, w]() {
+                workerMain(static_cast<std::size_t>(w));
+            });
+        }
+    } catch (...) {
+        // Thread spawn failed (resource exhaustion): shut down the
+        // workers that did start, then let the caller see the error.
+        {
+            std::lock_guard<std::mutex> lock(state_->mutex);
+            state_->stopping = true;
+        }
+        state_->workCv.notify_all();
+        for (auto &t : workers_)
+            t.join();
+        throw;
+    }
+}
+
+Frontier::~Frontier()
+{
+    // Drain, don't drop: every batch already submitted runs to
+    // completion (the synchronous facade depends on it), then the
+    // workers exit. Clients that wanted their pending work gone
+    // cancel their handles before letting the frontier die.
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->stopping = true;
+    }
+    state_->workCv.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+Frontier::workerMain(std::size_t worker_index)
+{
+    CompileCaches &caches = caches_[worker_index];
+    FrontierState &st = *state_;
+    std::unique_lock<std::mutex> lock(st.mutex);
+    while (true) {
+        st.workCv.wait(lock, [&] {
+            return st.stopping || !st.ready.empty();
+        });
+        if (st.ready.empty()) {
+            if (st.stopping)
+                return; // drained: nothing ready, nothing claimable
+            continue;
+        }
+
+        // Claim under the lock: pick the most urgent batch, take its
+        // next job FIFO, deregister the batch once fully claimed. The
+        // claim is ~100ns of bookkeeping against a compile job of
+        // tens of microseconds to milliseconds, so contention here is
+        // noise - and one mutex keeps claim/cancel/complete and the
+        // priority scan trivially race-free (the TSan job agrees).
+        // best() hands over shared ownership, keeping the control
+        // block alive across the unlocked compile below.
+        const std::shared_ptr<BatchControl> ctl = st.best();
+        const std::size_t i = ctl->next++;
+        ++ctl->inFlight;
+        if (ctl->exhausted())
+            st.unqueue(ctl.get());
+
+        lock.unlock();
+        const Job &job = ctl->jobs[i];
+        ctl->results[i] =
+            job.opts ? compile(*job.ddg, *job.mach, *job.opts, caches)
+                     : compile(*job.ddg, *job.mach, {}, caches);
+        lock.lock();
+
+        ctl->ran[i] = 1;
+        ++ctl->compiled;
+        --ctl->inFlight;
+        // Completion is per batch: done when no claimable job remains
+        // (all claimed, or the rest were dropped by cancel) and the
+        // last in-flight job - this one - has landed.
+        if (ctl->exhausted() && ctl->inFlight == 0 && !ctl->done)
+            detail::finishBatch(*ctl);
+    }
+}
+
+Frontier::BatchHandle
+Frontier::submit(std::vector<Job> jobs, int priority)
+{
+    for (const Job &job : jobs) {
+        cv_assert(job.ddg && job.mach,
+                  "frontier job without a graph or machine");
+    }
+
+    auto ctl = std::make_shared<BatchControl>();
+    ctl->jobs = std::move(jobs);
+    ctl->priority = priority;
+    ctl->state = state_;
+    ctl->results.resize(ctl->jobs.size());
+    ctl->ran.assign(ctl->jobs.size(), 0);
+
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        ctl->seq = state_->seqCounter++;
+        if (ctl->jobs.empty()) {
+            // Nothing to claim: complete on the spot, never queued.
+            detail::finishBatch(*ctl);
+            return BatchHandle(std::move(ctl));
+        }
+        state_->ready.push_back(ctl);
+    }
+    state_->workCv.notify_all();
+    return BatchHandle(std::move(ctl));
+}
+
+} // namespace cvliw

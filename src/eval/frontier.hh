@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The multi-tenant serving frontier: asynchronous, prioritized batch
+ * submission over one persistent compile worker pool.
+ *
+ * ## Why a frontier
+ *
+ * `CompileService` (eval/service.hh) runs one synchronous batch at a
+ * time, so a long full-suite digest job starves every other client of
+ * the worker pool until it drains. The frontier turns that batch
+ * engine into a serving layer: any number of clients submit batches
+ * concurrently, each batch carries a priority, and the shared workers
+ * always claim from the most urgent batch in flight. A small
+ * high-priority request overtakes a large background sweep instead of
+ * queueing behind it (bench/perf_micro.cc's BM_FrontierMixedTenants
+ * measures exactly that; examples/frontier_server.cpp simulates N
+ * concurrent tenants).
+ *
+ * ## Scheduling model
+ *
+ *  - **Per-batch priority.** `submit(jobs, priority)` attaches an
+ *    integer priority; higher runs sooner. Workers always claim from
+ *    the highest-priority batch that still has unclaimed jobs; ties
+ *    go to the earlier submission (no starvation among equals).
+ *  - **FIFO within a batch.** Jobs of one batch are claimed in index
+ *    order, so a batch streams through the pool front to back.
+ *  - **Cooperative cancellation.** `BatchHandle::cancel()` drops the
+ *    jobs nobody claimed yet and lets in-flight jobs finish; nothing
+ *    is interrupted mid-compile. Cancelling a finished batch is a
+ *    no-op (idempotent). `ran(i)` tells dropped jobs apart from
+ *    compiled ones.
+ *  - **Per-worker caches across batches.** Each worker owns one
+ *    long-lived `CompileCaches` reused across every batch, client and
+ *    config it ever serves. This is safe because every memo inside is
+ *    keyed on (`Ddg::generation()`, `MachineConfig::id()`) - the PR 2
+ *    contract - so a hit can never surface a stale result, and reuse
+ *    only recycles buffer capacity.
+ *
+ * ## Determinism
+ *
+ * Every job is compiled independently: `results()[i]` depends only on
+ * `jobs[i]`, never on the worker that ran it, the claim order, the
+ * priority, or what other batches were in flight. A batch therefore
+ * produces **bit-identical** results for any worker count and any
+ * concurrent load (tests/frontier_test.cc pins 1/4/hw workers and
+ * fuzzes concurrent submitters against single-batch oracle runs).
+ *
+ * ## Completion tracking and teardown
+ *
+ * Batch state lives in a control block shared between the frontier,
+ * its workers and every `BatchHandle` copy, so completion is tracked
+ * per batch (not one global counter) and a handle stays safe to
+ * `wait()`/`cancel()`/read even while stale workers are still
+ * finishing in-flight jobs of other batches. The destructor drains
+ * everything already submitted - the synchronous facade
+ * (`CompileService::compileBatch` = `submit().wait()`) relies on
+ * that - then joins the workers.
+ *
+ * ## Lifetime contract
+ *
+ * `submit` copies the job descriptors, but the pointed-to graphs,
+ * machine configs and options are borrowed: they must stay alive and
+ * unmodified until the batch completes (wait() returns, tryResults()
+ * is non-null, or status().done). Results live in the control block
+ * and remain readable for as long as any handle copy exists, even
+ * after the frontier itself is gone.
+ */
+
+#ifndef CVLIW_EVAL_FRONTIER_HH
+#define CVLIW_EVAL_FRONTIER_HH
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hh"
+
+namespace cvliw
+{
+
+namespace detail
+{
+struct BatchControl;
+struct FrontierState;
+} // namespace detail
+
+class Frontier
+{
+  public:
+    /** One compile job: a loop body and the machine to compile for. */
+    struct Job
+    {
+        const Ddg *ddg = nullptr;
+        const MachineConfig *mach = nullptr;
+        const PipelineOptions *opts = nullptr; //!< null = defaults
+    };
+
+    /** Snapshot of one batch's progress (see BatchHandle::status). */
+    struct BatchStatus
+    {
+        bool done = false;      //!< complete: compiled + dropped == total
+        bool cancelled = false; //!< cancel() was called before done
+        std::size_t compiled = 0; //!< jobs whose compile finished
+        std::size_t dropped = 0;  //!< jobs dropped by cancellation
+        std::size_t total = 0;    //!< jobs submitted
+    };
+
+    /**
+     * Shared, copyable reference to one submitted batch: the client's
+     * end of the frontier. All methods are safe from any thread, at
+     * any time - including after the frontier that issued the handle
+     * was destroyed (the control block is shared ownership). The one
+     * exception is take(), which invalidates concurrently held
+     * results; see its contract.
+     */
+    class BatchHandle
+    {
+      public:
+        /** Empty handle; every accessor below requires valid(). */
+        BatchHandle();
+        ~BatchHandle();
+        BatchHandle(const BatchHandle &);
+        BatchHandle(BatchHandle &&) noexcept;
+        BatchHandle &operator=(const BatchHandle &);
+        BatchHandle &operator=(BatchHandle &&) noexcept;
+
+        bool valid() const { return ctl_ != nullptr; }
+
+        /** Jobs submitted in this batch. */
+        std::size_t size() const;
+
+        /** Priority the batch was submitted with. */
+        int priority() const;
+
+        /**
+         * Block until the batch completes: every job compiled, or the
+         * batch cancelled and its in-flight jobs drained.
+         */
+        void wait() const;
+
+        /** Non-blocking progress snapshot. */
+        BatchStatus status() const;
+
+        /**
+         * Non-blocking: the results when the batch is complete,
+         * nullptr otherwise. One result per job in job order; jobs
+         * dropped by cancel() hold default CompileResult (ok ==
+         * false; see ran()). The pointer stays valid while any handle
+         * copy exists and take() has not consumed the batch.
+         */
+        const std::vector<CompileResult> *tryResults() const;
+
+        /** wait(), then the results (see tryResults). */
+        const std::vector<CompileResult> &results() const;
+
+        /**
+         * wait(), then move the results out. Consumes the batch: at
+         * most one take() per batch, and results()/tryResults() see
+         * an empty vector afterwards. The one non-concurrent
+         * operation: the caller must ensure no other thread is
+         * reading this batch's results (through any handle copy)
+         * when take() runs - the move invalidates what they hold.
+         */
+        std::vector<CompileResult> take();
+
+        /**
+         * True when job @p i was compiled (false: dropped by cancel,
+         * or not finished yet). Stable once the batch is done.
+         */
+        bool ran(std::size_t i) const;
+
+        /**
+         * Cooperatively cancel: jobs nobody claimed yet are dropped;
+         * in-flight jobs finish and keep their results. Idempotent,
+         * and a no-op on a finished batch.
+         * @return the number of jobs dropped by this call
+         */
+        std::size_t cancel() const;
+
+      private:
+        friend class Frontier;
+        explicit BatchHandle(std::shared_ptr<detail::BatchControl> ctl);
+
+        std::shared_ptr<detail::BatchControl> ctl_;
+    };
+
+    /**
+     * Pool size a default-constructed frontier uses: the
+     * CVLIW_THREADS environment variable, then hardware concurrency,
+     * then 1. Does not construct anything.
+     */
+    static int defaultWorkerCount();
+
+    /**
+     * Start the worker pool.
+     * @param workers thread count; <= 0 picks defaultWorkerCount()
+     */
+    explicit Frontier(int workers = 0);
+
+    /** Drains every submitted batch, then joins the workers. */
+    ~Frontier();
+
+    Frontier(const Frontier &) = delete;
+    Frontier &operator=(const Frontier &) = delete;
+
+    int numWorkers() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /**
+     * Submit @p jobs as one batch with @p priority (higher runs
+     * sooner; the default 0 is a plain background batch). Returns
+     * immediately; the batch runs concurrently with every other batch
+     * in flight. Safe from any thread. An empty batch completes
+     * immediately.
+     */
+    BatchHandle submit(std::vector<Job> jobs, int priority = 0);
+
+  private:
+    void workerMain(std::size_t worker_index);
+
+    // Shared with every BatchControl so handles outlive the frontier:
+    // the mutex, the condition variables and the ready frontier all
+    // live here (see frontier.cc).
+    std::shared_ptr<detail::FrontierState> state_;
+
+    std::vector<std::thread> workers_;
+
+    // One long-lived cache set per worker, index-aligned with
+    // workers_. Only worker i touches caches_[i].
+    std::vector<CompileCaches> caches_;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_EVAL_FRONTIER_HH

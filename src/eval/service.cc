@@ -1,156 +1,19 @@
 #include "eval/service.hh"
 
-#include <cstdlib>
-
 #include "support/logging.hh"
 
 namespace cvliw
 {
 
-int
-CompileService::defaultWorkerCount()
-{
-    if (const char *env = std::getenv("CVLIW_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? static_cast<int>(hw) : 1;
-}
-
-CompileService::CompileService(int workers)
-{
-    if (workers <= 0)
-        workers = defaultWorkerCount();
-    caches_.resize(static_cast<std::size_t>(workers));
-    workers_.reserve(static_cast<std::size_t>(workers));
-    try {
-        for (int w = 0; w < workers; ++w) {
-            workers_.emplace_back([this, w]() {
-                workerMain(static_cast<std::size_t>(w));
-            });
-        }
-    } catch (...) {
-        // Thread spawn failed (resource exhaustion): shut down the
-        // workers that did start before the members they block on are
-        // destroyed, then let the caller see the error.
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            stopping_ = true;
-        }
-        workCv_.notify_all();
-        for (auto &t : workers_)
-            t.join();
-        throw;
-    }
-}
-
-CompileService::~CompileService()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = true;
-    }
-    workCv_.notify_all();
-    for (auto &t : workers_)
-        t.join();
-}
-
-void
-CompileService::workerMain(std::size_t worker_index)
-{
-    CompileCaches &caches = caches_[worker_index];
-    std::uint64_t seen = 0;
-    while (true) {
-        const Job *jobs = nullptr;
-        CompileResult *results = nullptr;
-        std::size_t count = 0;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            workCv_.wait(lock, [&] {
-                return stopping_ || generation_ != seen;
-            });
-            if (stopping_)
-                return;
-            seen = generation_;
-            jobs = jobs_;
-            results = results_;
-            count = jobCount_;
-            // Registered in the batch: runBatch cannot declare it
-            // complete (and invalidate jobs/results/nextJob_) while
-            // this worker may still touch them in the claim loop.
-            ++activeWorkers_;
-        }
-
-        std::size_t done_here = 0;
-        while (true) {
-            const std::size_t i =
-                nextJob_.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count)
-                break;
-            const Job &job = jobs[i];
-            results[i] =
-                job.opts
-                    ? compile(*job.ddg, *job.mach, *job.opts, caches)
-                    : compile(*job.ddg, *job.mach, {}, caches);
-            ++done_here;
-        }
-
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            pendingJobs_ -= done_here;
-            --activeWorkers_;
-            if (pendingJobs_ == 0 && activeWorkers_ == 0)
-                doneCv_.notify_all();
-        }
-    }
-}
-
-void
-CompileService::runBatch(std::size_t job_count)
-{
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        // A worker that slept through the previous batch may have
-        // just adopted its drained end state (count 0) and still
-        // performs one claim fetch_add before exiting; resetting
-        // nextJob_ under it would hand this batch's first index to
-        // that stale claim. Wait until every adopter has left.
-        doneCv_.wait(lock, [&] { return activeWorkers_ == 0; });
-        jobCount_ = job_count;
-        pendingJobs_ = job_count;
-        nextJob_.store(0, std::memory_order_relaxed);
-        ++generation_;
-    }
-    workCv_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    doneCv_.wait(lock,
-                 [&] { return pendingJobs_ == 0 && activeWorkers_ == 0; });
-    jobs_ = nullptr;
-    results_ = nullptr;
-    jobCount_ = 0;
-}
-
 std::vector<CompileResult>
 CompileService::compileBatch(const std::vector<Job> &jobs)
 {
-    std::vector<CompileResult> results(jobs.size());
-    if (jobs.empty())
-        return results;
-    for (const Job &job : jobs) {
-        cv_assert(job.ddg && job.mach,
-                  "CompileService job without a graph or machine");
-    }
-
-    std::lock_guard<std::mutex> batch_lock(batchMutex_);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        jobs_ = jobs.data();
-        results_ = results.data();
-    }
-    runBatch(jobs.size());
-    return results;
+    // submit() validates the jobs and copies the descriptors; the
+    // graphs/configs they point at are the caller's and stay alive
+    // until take() returns. Default priority: synchronous callers are
+    // plain tenants, overtaken by anything urgent on the frontier.
+    Frontier::BatchHandle handle = frontier_.submit(jobs);
+    return handle.take();
 }
 
 SuiteResult

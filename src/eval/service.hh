@@ -1,36 +1,36 @@
 /**
  * @file
- * `CompileService`: a persistent thread-pool compile engine for the
+ * `CompileService`: the synchronous compile facade for the
  * heavy-traffic scenario (many machine configs x many loops per
- * process).
+ * process), built on the multi-tenant serving frontier
+ * (eval/frontier.hh).
  *
- * ## Why a service instead of throwaway threads
+ * ## What the service is now
  *
- * The original `runSuite` spawned fresh threads per call and paid a
- * fresh set of scratch buffers and analysis memos per loop. The
- * service keeps both alive:
+ * The service used to own the worker pool and run one batch at a
+ * time; the pool, the per-worker `CompileCaches` and all completion
+ * tracking moved into `Frontier`, and the service became the
+ * blocking convenience layer over it: `compileBatch` is exactly
+ * `frontier().submit(jobs).wait()` with the results moved out, so it
+ * keeps its historical contract - one result per job in job order,
+ * bit-identical for any worker count - while concurrent callers of
+ * the same service are no longer serialized: each call is its own
+ * batch on the shared frontier, and the pool crosses batch
+ * boundaries freely.
  *
- *  - **Persistent workers.** Threads are created once (constructor)
- *    and reused for every batch, so a process serving many suites and
- *    configs pays thread creation once.
- *  - **Per-worker caches.** Each worker owns a long-lived
- *    `CompileCaches` (PseudoScratch + SchedulerCache) reused across
- *    jobs *and* configs. This is safe because every memo inside is
- *    keyed on (`Ddg::generation()`, `MachineConfig::id()`) - the
- *    config-keyed cache work of PR 2 - so a hit can never surface a
- *    stale result, and reuse only recycles buffer capacity.
- *  - **Atomic work queue.** Jobs are claimed with a single
- *    `fetch_add`, not static slicing, so a batch with skewed loop
- *    sizes (fpppp bodies are ~10x tomcatv bodies) never idles a
- *    worker while another finishes a long tail.
+ * Clients that want the asynchronous API (priorities, overlapping
+ * batches, cancellation, non-blocking polling) use `frontier()`
+ * directly; see eval/frontier.hh for the scheduling model and the
+ * cache-reuse contract.
  *
  * ## Determinism
  *
  * Every job is compiled independently: result[i] depends only on
- * job[i], never on which worker ran it or in what order. Combined
- * with the keyed caches, a batch produces **bit-identical** results
- * for any worker count (tests/service_test.cc pins 1 == 2 == 8
- * workers; examples/suite_digest.cpp pins the combined suite digest).
+ * job[i], never on which worker ran it, in what order, or what other
+ * batches were in flight. Combined with the (generation, config-id)
+ * keyed caches, a batch produces **bit-identical** results for any
+ * worker count (tests/service_test.cc pins 1 == 2 == 8 workers;
+ * examples/suite_digest.cpp pins the combined suite digest).
  *
  * ## Usage
  *
@@ -39,23 +39,17 @@
  * SuiteResult r = svc.compileSuite(suite, mach);
  * auto rs = svc.compileSuite(suite, configs);   // one batch, n configs
  * CompileService::shared().compileSuite(...);   // process-wide pool
+ * auto h = svc.frontier().submit(jobs, 10);     // async, high priority
  * ```
- *
- * One batch runs at a time per service; concurrent callers of the
- * same instance are serialized (the pool is the bottleneck anyway).
  */
 
 #ifndef CVLIW_EVAL_SERVICE_HH
 #define CVLIW_EVAL_SERVICE_HH
 
-#include <atomic>
-#include <condition_variable>
-#include <cstddef>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/pipeline.hh"
+#include "eval/frontier.hh"
 #include "eval/runner.hh"
 #include "workloads/suite.hh"
 
@@ -65,39 +59,41 @@ namespace cvliw
 class CompileService
 {
   public:
-    /** One compile job: a loop body and the machine to compile for. */
-    struct Job
-    {
-        const Ddg *ddg = nullptr;
-        const MachineConfig *mach = nullptr;
-        const PipelineOptions *opts = nullptr; //!< null = defaults
-    };
+    /** One compile job (shared with the frontier). */
+    using Job = Frontier::Job;
 
-    /**
-     * Pool size a default-constructed service uses: the
-     * CVLIW_THREADS environment variable, then hardware concurrency,
-     * then 1. Does not construct anything.
-     */
-    static int defaultWorkerCount();
+    /** See Frontier::defaultWorkerCount. */
+    static int defaultWorkerCount()
+    {
+        return Frontier::defaultWorkerCount();
+    }
 
     /**
      * Start the worker pool.
      * @param workers thread count; <= 0 picks defaultWorkerCount()
      */
-    explicit CompileService(int workers = 0);
+    explicit CompileService(int workers = 0) : frontier_(workers) {}
 
-    /** Drains the current batch (if any) and joins the workers. */
-    ~CompileService();
+    /** Drains every submitted batch and joins the workers. */
+    ~CompileService() = default;
 
     CompileService(const CompileService &) = delete;
     CompileService &operator=(const CompileService &) = delete;
 
-    int numWorkers() const { return static_cast<int>(workers_.size()); }
+    int numWorkers() const { return frontier_.numWorkers(); }
+
+    /**
+     * The serving frontier under this service: submit asynchronous,
+     * prioritized, cancellable batches that share the pool (and its
+     * warmed per-worker caches) with the synchronous calls below.
+     */
+    Frontier &frontier() { return frontier_; }
 
     /**
      * Compile @p jobs, one result per job in job order. Blocks until
-     * the batch is done. Deterministic: the results never depend on
-     * the worker count or on scheduling.
+     * the batch is done - a `submit().wait()` wrapper. Deterministic:
+     * the results never depend on the worker count, on scheduling, or
+     * on other batches in flight.
      */
     std::vector<CompileResult> compileBatch(const std::vector<Job> &jobs);
 
@@ -125,38 +121,7 @@ class CompileService
     static CompileService &shared();
 
   private:
-    void workerMain(std::size_t worker_index);
-
-    /** Wake the pool for jobs_/results_ and wait for completion. */
-    void runBatch(std::size_t job_count);
-
-    std::vector<std::thread> workers_;
-
-    // One long-lived cache set per worker, index-aligned with
-    // workers_. Only worker i touches caches_[i].
-    std::vector<CompileCaches> caches_;
-
-    // Batch hand-off. `generation_` advances once per batch; workers
-    // sleep on it. The job claim itself is a lock-free fetch_add. A
-    // batch completes only when every job is done AND every worker
-    // that adopted the batch has left its claim loop
-    // (`activeWorkers_` == 0) - otherwise a slow worker could claim
-    // against the next batch's reset counter while still holding the
-    // previous batch's job/result pointers.
-    std::mutex mutex_;
-    std::condition_variable workCv_;
-    std::condition_variable doneCv_;
-    std::uint64_t generation_ = 0;
-    bool stopping_ = false;
-    const Job *jobs_ = nullptr;
-    CompileResult *results_ = nullptr;
-    std::size_t jobCount_ = 0;
-    std::atomic<std::size_t> nextJob_{0};
-    std::size_t pendingJobs_ = 0;
-    std::size_t activeWorkers_ = 0;
-
-    // Callers of compileBatch are serialized: one batch at a time.
-    std::mutex batchMutex_;
+    Frontier frontier_;
 };
 
 } // namespace cvliw

@@ -7,6 +7,16 @@
 #include <mutex>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define CVLIW_SUITE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CVLIW_SUITE_HAVE_MMAP 0
+#endif
+
 #include "support/fnv.hh"
 #include "support/logging.hh"
 
@@ -422,14 +432,86 @@ saveSuite(const std::vector<Loop> &suite, const std::string &path,
  * Open, validated suite cache bytes: everything loadSuite's header
  * pass used to compute, kept alive so records can be materialized
  * independently (lazily or in parallel).
+ *
+ * The backing storage is the file mmapped read-only where the
+ * platform has mmap (zero-copy: records parse straight out of the
+ * page cache, the untouched ones stay clean evictable file pages,
+ * and concurrent opens of the same cache share physical memory) and
+ * a plain slurp into an owned buffer otherwise - or when
+ * CVLIW_SUITE_MMAP=0 forces the fallback. Every consumer reads
+ * through data()/dataSize() and cannot tell the two apart.
  */
 struct SuiteCacheFile::Impl
 {
-    std::vector<unsigned char> bytes;
+    std::vector<unsigned char> bytes; //!< slurp fallback storage
+#if CVLIW_SUITE_HAVE_MMAP
+    void *map = nullptr; //!< mmap base, or null when slurped
+    std::size_t mapSize = 0;
+#endif
     std::vector<std::uint64_t> offsets;
-    const unsigned char *payload = nullptr; //!< into `bytes`
+    const unsigned char *payload = nullptr; //!< into data()
     std::uint64_t payloadSize = 0;
     std::uint32_t loopCount = 0;
+
+    ~Impl()
+    {
+#if CVLIW_SUITE_HAVE_MMAP
+        if (map)
+            ::munmap(map, mapSize);
+#endif
+    }
+
+    const unsigned char *data() const
+    {
+#if CVLIW_SUITE_HAVE_MMAP
+        if (map)
+            return static_cast<const unsigned char *>(map);
+#endif
+        return bytes.data();
+    }
+
+    std::size_t dataSize() const
+    {
+#if CVLIW_SUITE_HAVE_MMAP
+        if (map)
+            return mapSize;
+#endif
+        return bytes.size();
+    }
+
+    /**
+     * Map @p path read-only. False on any failure (no mmap support,
+     * empty file, unmappable file system): the caller slurps instead.
+     */
+    bool tryMap(const std::string &path)
+    {
+#if CVLIW_SUITE_HAVE_MMAP
+        if (const char *env = std::getenv("CVLIW_SUITE_MMAP")) {
+            if (env[0] == '0' && env[1] == '\0')
+                return false;
+        }
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return false;
+        struct stat st;
+        if (::fstat(fd, &st) != 0 || st.st_size <= 0 ||
+            !S_ISREG(st.st_mode)) {
+            ::close(fd);
+            return false;
+        }
+        void *m = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd); // the mapping holds its own file reference
+        if (m == MAP_FAILED)
+            return false;
+        map = m;
+        mapSize = static_cast<std::size_t>(st.st_size);
+        return true;
+#else
+        (void)path;
+        return false;
+#endif
+    }
 
     /** Bounds-checked reader over one loop record. */
     Reader record(std::uint32_t i, const std::string &path) const
@@ -445,21 +527,25 @@ SuiteCacheFile::SuiteCacheFile(const std::string &path)
     : impl_(new Impl), path_(path)
 {
     Impl &im = *impl_;
-    std::ifstream f(path, std::ios::binary | std::ios::ate);
-    if (!f)
-        throw SuiteIoError("cannot open suite cache '" + path + "'");
-    const std::streamsize size = f.tellg();
-    f.seekg(0);
-    im.bytes.resize(static_cast<std::size_t>(size));
-    if (size > 0) {
-        f.read(reinterpret_cast<char *>(im.bytes.data()), size);
-        if (!f)
-            throw SuiteIoError("short read from '" + path + "'");
+    if (!im.tryMap(path)) {
+        std::ifstream f(path, std::ios::binary | std::ios::ate);
+        if (!f) {
+            throw SuiteIoError("cannot open suite cache '" + path +
+                               "'");
+        }
+        const std::streamsize size = f.tellg();
+        f.seekg(0);
+        im.bytes.resize(static_cast<std::size_t>(size));
+        if (size > 0) {
+            f.read(reinterpret_cast<char *>(im.bytes.data()), size);
+            if (!f)
+                throw SuiteIoError("short read from '" + path + "'");
+        }
     }
 
-    Reader r{im.bytes.data(), im.bytes.size(), path_};
+    Reader r{im.data(), im.dataSize(), path_};
     r.need(sizeof(kMagic));
-    if (std::memcmp(im.bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    if (std::memcmp(im.data(), kMagic, sizeof(kMagic)) != 0)
         r.fail("not a suite cache (bad magic)");
     r.pos = sizeof(kMagic);
     const std::uint32_t version = r.u32();
@@ -490,12 +576,12 @@ SuiteCacheFile::SuiteCacheFile(const std::string &path)
         }
     }
 
-    im.payload = im.bytes.data() + r.pos;
+    im.payload = im.data() + r.pos;
     im.payloadSize = payload_size;
-    if (im.bytes.size() - r.pos != payload_size) {
+    if (im.dataSize() - r.pos != payload_size) {
         r.fail("payload size mismatch (header says " +
                std::to_string(payload_size) + ", file holds " +
-               std::to_string(im.bytes.size() - r.pos) + ")");
+               std::to_string(im.dataSize() - r.pos) + ")");
     }
     if (payloadDigest(im.payload, payload_size) != digest)
         r.fail("payload digest mismatch (corrupted file)");

@@ -118,14 +118,25 @@ struct SuiteLoopInfo
 };
 
 /**
- * An open, validated suite cache: the file is read, the header parsed
- * and the payload digest verified exactly once, after which records
- * are independently addressable through the offset table. The lazy
- * counterpart of `loadSuite` for binaries that touch a few loops:
- * `loadLoop(i)` materializes one record (~1/678 of the parse and
- * allocation work), and `scan()` skims every record's header facts
- * without building any graph. All methods are const; a const
+ * An open, validated suite cache: the file is opened, the header
+ * parsed and the payload digest verified exactly once, after which
+ * records are independently addressable through the offset table. The
+ * lazy counterpart of `loadSuite` for binaries that touch a few
+ * loops: `loadLoop(i)` materializes one record (~1/678 of the parse
+ * and allocation work), and `scan()` skims every record's header
+ * facts without building any graph. All methods are const; a const
  * SuiteCacheFile is safe to share across threads.
+ *
+ * Where the platform has mmap the file is mapped read-only instead of
+ * slurped: no bulk copy on open, records parse zero-copy out of the
+ * page cache, untouched records cost only clean evictable file pages
+ * (the open-time digest pass streams them through once), and
+ * concurrent opens of one cache share physical memory. Everywhere
+ * else - or with `CVLIW_SUITE_MMAP=0` in the environment - the
+ * original whole-file slurp is used; behaviour is identical either
+ * way (tests pin both paths). Mapped mode trusts the file not to be
+ * truncated while open, like every mmap consumer; the build-generated
+ * cache is write-once.
  */
 class SuiteCacheFile
 {

@@ -440,9 +440,15 @@ TEST(DdgArena, MutationFuzzMatchesVectorOracle)
                 while (live_nodes.size() < 2)
                     spawn(OpClass::IntAlu);
             }
+            // Compaction at random quiescent points (no view is held
+            // here): everything the oracle observes must be unmoved.
+            if (rng.chance(0.05))
+                g.compact();
             if (step % 25 == 0)
                 oracle.check(g);
         }
+        oracle.check(g);
+        g.compact();
         oracle.check(g);
 
         // Tombstone accounting survives the whole interleaving.
@@ -485,6 +491,61 @@ TEST(DdgArena, FromSlotsCompactArenaGrowsAfterLoad)
     std::vector<EdgeId> out_a = loaded.outEdges(s.a).toVector();
     EXPECT_EQ(out_a.back(), ad);
     EXPECT_EQ(out_a.size(), s.g.outEdges(s.a).size() + 1);
+}
+
+/**
+ * compact() repacks a relocation-grown arena to fromSlots density:
+ * adjacency (order, tombstones, dead-slot spans) is preserved exactly,
+ * the generation stamp does not advance, and the graph keeps growing
+ * correctly afterwards from zero slack.
+ */
+TEST(DdgArena, CompactPreservesAdjacencyAndGeneration)
+{
+    // Heavy fan-out on one node forces repeated span relocations, so
+    // the arena accumulates dead regions and slack.
+    Ddg g;
+    const NodeId hub = g.addNode(OpClass::IntAlu, "hub");
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 37; ++i) {
+        const NodeId leaf = g.addNode(OpClass::IntAlu);
+        g.addEdge(hub, leaf, EdgeKind::RegFlow, 0);
+        leaves.push_back(leaf);
+    }
+    g.removeNode(leaves[3]); // tombstones stay in the spans
+    g.removeEdge(g.outEdgesRaw(hub)[7]);
+
+    // Oracle: an unmodified copy (same adjacency, untouched arena).
+    const Ddg pre = g;
+    const std::uint64_t stamp = g.generation();
+
+    g.compact();
+
+    EXPECT_EQ(g.generation(), stamp) << "compact is not structural";
+    ASSERT_EQ(g.numNodeSlots(), pre.numNodeSlots());
+    for (NodeId n = 0; n < g.numNodeSlots(); ++n) {
+        const EdgeSpan gi = g.inEdgesRaw(n), pi = pre.inEdgesRaw(n);
+        EXPECT_EQ(std::vector<EdgeId>(gi.begin(), gi.end()),
+                  std::vector<EdgeId>(pi.begin(), pi.end()))
+            << "in-span of node " << n;
+        const EdgeSpan go = g.outEdgesRaw(n), po = pre.outEdgesRaw(n);
+        EXPECT_EQ(std::vector<EdgeId>(go.begin(), go.end()),
+                  std::vector<EdgeId>(po.begin(), po.end()))
+            << "out-span of node " << n;
+        if (!g.node(n).alive)
+            continue;
+        EXPECT_EQ(g.inEdges(n).toVector(), pre.inEdges(n).toVector());
+        EXPECT_EQ(g.outEdges(n).toVector(),
+                  pre.outEdges(n).toVector());
+    }
+
+    // Compact twice: the second call is the documented no-op.
+    g.compact();
+    EXPECT_EQ(g.generation(), stamp);
+
+    // Growth from capacity == count relocates cleanly again.
+    const NodeId extra = g.addNode(OpClass::IntAlu, "extra");
+    const EdgeId e = g.addEdge(hub, extra, EdgeKind::RegFlow, 0);
+    EXPECT_EQ(g.outEdges(hub).toVector().back(), e);
 }
 
 } // namespace

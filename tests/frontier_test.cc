@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Serving-frontier tests (eval/frontier.hh): per-batch determinism at
+ * 1/4/hw workers under concurrent load, priority overtaking, the full
+ * cancellation matrix (before start, mid-batch, after finish -
+ * idempotent), empty batches, and a multi-threaded submit fuzz whose
+ * every result is checked against single-batch oracle runs. The CI
+ * ThreadSanitizer job runs this binary to catch data races in the
+ * frontier itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "eval/digest.hh"
+#include "eval/frontier.hh"
+#include "eval/service.hh"
+#include "workloads/suite_io.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+/** Every 8th loop: 85 loops spanning all ten benchmarks and sizes. */
+const std::vector<Loop> &
+sampleLoops()
+{
+    static const std::vector<Loop> sample = [] {
+        const auto suite = loadOrBuildSuite(42);
+        std::vector<Loop> out;
+        for (std::size_t i = 0; i < suite.size(); i += 8)
+            out.push_back(suite[i]);
+        return out;
+    }();
+    return sample;
+}
+
+std::vector<Frontier::Job>
+jobsFor(const std::vector<Loop> &loops, const MachineConfig &mach)
+{
+    std::vector<Frontier::Job> jobs(loops.size());
+    for (std::size_t i = 0; i < loops.size(); ++i)
+        jobs[i] = Frontier::Job{&loops[i].ddg, &mach, nullptr};
+    return jobs;
+}
+
+std::uint64_t
+digestResults(const std::vector<CompileResult> &results)
+{
+    ResultDigest d;
+    for (const CompileResult &r : results)
+        mixCompileResult(d, r);
+    return d.h;
+}
+
+TEST(Frontier, BatchResultsBitIdenticalAcrossWorkerCounts)
+{
+    const auto &loops = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    const int hw = Frontier::defaultWorkerCount();
+
+    std::vector<std::uint64_t> digests;
+    for (int workers : {1, 4, hw}) {
+        Frontier frontier(workers);
+        EXPECT_EQ(frontier.numWorkers(), workers);
+        auto handle = frontier.submit(jobsFor(loops, m));
+        handle.wait();
+        const auto &results = handle.results();
+        ASSERT_EQ(results.size(), loops.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            EXPECT_TRUE(handle.ran(i)) << "job " << i;
+        digests.push_back(digestResults(results));
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+    EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(Frontier, ConcurrentBatchesMatchDirectCompile)
+{
+    // Three batches in flight at once on one pool; each must be
+    // exactly what a lone compile() loop produces.
+    const auto &loops = sampleLoops();
+    const std::vector<MachineConfig> machs = {
+        MachineConfig::fromString("2c1b2l64r"),
+        MachineConfig::fromString("4c2b2l64r"),
+        MachineConfig::fromString("4c2b4l64r"),
+    };
+
+    Frontier frontier(4);
+    std::vector<Frontier::BatchHandle> handles;
+    for (const MachineConfig &m : machs)
+        handles.push_back(frontier.submit(jobsFor(loops, m)));
+
+    for (std::size_t c = 0; c < machs.size(); ++c) {
+        const auto &batched = handles[c].results();
+        ASSERT_EQ(batched.size(), loops.size());
+        ResultDigest direct;
+        for (const Loop &loop : loops)
+            mixCompileResult(direct, compile(loop.ddg, machs[c]));
+        EXPECT_EQ(digestResults(batched), direct.h) << "config " << c;
+    }
+}
+
+TEST(Frontier, HighPriorityBatchOvertakesBackground)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    // One worker, a long background batch, then a small urgent one:
+    // the urgent batch must drain while the background one is still
+    // running. 5x the sample gives the worker minutes of queue depth;
+    // the urgent submit lands microseconds after the background one.
+    std::vector<Loop> background_loops;
+    for (int rep = 0; rep < 5; ++rep) {
+        background_loops.insert(background_loops.end(), sample.begin(),
+                                sample.end());
+    }
+    std::vector<Loop> urgent_loops(sample.begin(), sample.begin() + 8);
+
+    Frontier frontier(1);
+    auto background =
+        frontier.submit(jobsFor(background_loops, m), /*priority=*/0);
+    auto urgent =
+        frontier.submit(jobsFor(urgent_loops, m), /*priority=*/10);
+    EXPECT_EQ(urgent.priority(), 10);
+
+    urgent.wait();
+    const Frontier::BatchStatus bg = background.status();
+    EXPECT_FALSE(bg.done)
+        << "background batch finished before the high-priority one";
+    EXPECT_LT(bg.compiled, bg.total);
+
+    // Both batches still deliver exact results.
+    background.wait();
+    ResultDigest direct;
+    for (const Loop &loop : urgent_loops)
+        mixCompileResult(direct, compile(loop.ddg, m));
+    EXPECT_EQ(digestResults(urgent.results()), direct.h);
+    EXPECT_EQ(background.status().compiled, background_loops.size());
+}
+
+TEST(Frontier, EmptyBatchCompletesImmediately)
+{
+    Frontier frontier(2);
+    auto handle = frontier.submit({});
+    EXPECT_TRUE(handle.valid());
+    EXPECT_EQ(handle.size(), 0u);
+    EXPECT_TRUE(handle.status().done);
+    handle.wait(); // returns immediately
+    EXPECT_TRUE(handle.results().empty());
+    EXPECT_EQ(handle.cancel(), 0u); // nothing to drop
+}
+
+TEST(Frontier, CancelBeforeStartDropsEveryJob)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    // Pin the lone worker to a higher-priority batch so the victim's
+    // jobs are deterministically unclaimed when cancel() lands.
+    Frontier frontier(1);
+    auto shield = frontier.submit(jobsFor(sample, m), /*priority=*/5);
+    auto victim = frontier.submit(jobsFor(sample, m), /*priority=*/0);
+
+    const std::size_t dropped = victim.cancel();
+    EXPECT_EQ(dropped, sample.size());
+    victim.wait();
+    const Frontier::BatchStatus s = victim.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_TRUE(s.cancelled);
+    EXPECT_EQ(s.compiled, 0u);
+    EXPECT_EQ(s.dropped, sample.size());
+    for (std::size_t i = 0; i < victim.size(); ++i) {
+        EXPECT_FALSE(victim.ran(i));
+        EXPECT_FALSE(victim.results()[i].ok);
+    }
+    shield.wait();
+}
+
+TEST(Frontier, CancelMidBatchKeepsFinishedPrefixExact)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("2c1b2l64r");
+
+    std::vector<Loop> loops;
+    for (int rep = 0; rep < 4; ++rep)
+        loops.insert(loops.end(), sample.begin(), sample.end());
+
+    Frontier frontier(2);
+    auto handle = frontier.submit(jobsFor(loops, m));
+    // Let some work land, then cancel mid-flight.
+    while (handle.status().compiled < 8)
+        std::this_thread::yield();
+    handle.cancel();
+    handle.wait();
+
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_TRUE(s.cancelled);
+    EXPECT_GE(s.compiled, 8u);
+    EXPECT_LT(s.compiled, loops.size());
+    EXPECT_EQ(s.compiled + s.dropped, loops.size());
+
+    // Claimed-at-cancel jobs finished (cooperative), nothing was
+    // interrupted: every ran job holds the exact oracle result, every
+    // dropped one the default.
+    const auto &results = handle.results();
+    std::size_t ran_count = 0;
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (!handle.ran(i)) {
+            EXPECT_FALSE(results[i].ok) << "job " << i;
+            continue;
+        }
+        ++ran_count;
+        if (ran_count <= 4) { // oracle-check a few, not all 85+
+            ResultDigest a, b;
+            mixCompileResult(a, results[i]);
+            mixCompileResult(b, compile(loops[i].ddg, m));
+            EXPECT_EQ(a.h, b.h) << "job " << i;
+        }
+    }
+    EXPECT_EQ(ran_count, s.compiled);
+
+    // The frontier stays healthy for the next tenant. (Named vector:
+    // submitted graphs are borrowed until the batch completes.)
+    std::vector<Loop> next(sample.begin(), sample.begin() + 4);
+    auto after = frontier.submit(jobsFor(next, m));
+    after.wait();
+    EXPECT_EQ(after.status().compiled, 4u);
+}
+
+TEST(Frontier, CancelAfterFinishIsIdempotentNoOp)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 6);
+
+    Frontier frontier(2);
+    auto handle = frontier.submit(jobsFor(loops, m));
+    handle.wait();
+    const std::uint64_t digest = digestResults(handle.results());
+
+    // cancel() on a done batch: drops nothing, flips nothing, and the
+    // results stay intact - however often it is called.
+    EXPECT_EQ(handle.cancel(), 0u);
+    EXPECT_EQ(handle.cancel(), 0u);
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_FALSE(s.cancelled);
+    EXPECT_EQ(s.compiled, loops.size());
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(digestResults(handle.results()), digest);
+}
+
+TEST(Frontier, TryResultsIsNonBlocking)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    Frontier frontier(1);
+    std::vector<Loop> two(sample.begin(), sample.begin() + 2);
+    auto pin = frontier.submit(jobsFor(sample, m), /*priority=*/5);
+    auto handle = frontier.submit(jobsFor(two, m));
+    // The lone worker is pinned to the shield batch: the low-priority
+    // batch cannot be done yet.
+    EXPECT_EQ(handle.tryResults(), nullptr);
+    handle.wait();
+    const auto *results = handle.tryResults();
+    ASSERT_NE(results, nullptr);
+    EXPECT_EQ(results->size(), 2u);
+    pin.wait();
+}
+
+TEST(Frontier, HandleOutlivesFrontier)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 4);
+
+    Frontier::BatchHandle handle;
+    {
+        Frontier frontier(2);
+        handle = frontier.submit(jobsFor(loops, m));
+        // The destructor drains the batch before joining the pool.
+    }
+    EXPECT_TRUE(handle.status().done);
+    EXPECT_EQ(handle.results().size(), loops.size());
+    EXPECT_EQ(handle.cancel(), 0u); // safe after the frontier died
+}
+
+TEST(Frontier, TakeConsumesResultsOnce)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 3);
+
+    Frontier frontier(2);
+    auto handle = frontier.submit(jobsFor(loops, m));
+    std::vector<CompileResult> taken = handle.take();
+    EXPECT_EQ(taken.size(), loops.size());
+    EXPECT_TRUE(handle.results().empty()); // consumed
+}
+
+TEST(Frontier, MultiThreadedSubmitFuzzMatchesOracle)
+{
+    // N client threads submit random slices at random priorities and
+    // verify every batch against per-job oracle digests computed
+    // up front. Catches cross-batch interference: a frontier bug that
+    // mixes up results, drops jobs or reuses state across tenants
+    // cannot produce the right digests for every (slice, config).
+    const auto &sample = sampleLoops();
+    const std::vector<MachineConfig> machs = {
+        MachineConfig::fromString("2c1b2l64r"),
+        MachineConfig::fromString("4c2b2l64r"),
+    };
+
+    // Oracle: digest of compile(loop, mach) for every pair.
+    std::vector<std::vector<std::uint64_t>> oracle(machs.size());
+    for (std::size_t c = 0; c < machs.size(); ++c) {
+        oracle[c].resize(sample.size());
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+            ResultDigest d;
+            mixCompileResult(d, compile(sample[i].ddg, machs[c]));
+            oracle[c][i] = d.h;
+        }
+    }
+
+    Frontier frontier(3);
+    std::atomic<int> failures{0};
+    auto client = [&](unsigned seed) {
+        std::mt19937 rng(seed);
+        for (int round = 0; round < 6; ++round) {
+            const std::size_t c = rng() % machs.size();
+            const std::size_t lo = rng() % (sample.size() - 4);
+            const std::size_t n = 1 + rng() % 12;
+            const std::size_t hi = std::min(sample.size(), lo + n);
+            std::vector<Frontier::Job> jobs;
+            for (std::size_t i = lo; i < hi; ++i) {
+                jobs.push_back(
+                    Frontier::Job{&sample[i].ddg, &machs[c], nullptr});
+            }
+            auto handle = frontier.submit(
+                jobs, static_cast<int>(rng() % 5));
+            const auto &results = handle.results();
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                ResultDigest d;
+                mixCompileResult(d, results[i]);
+                if (d.h != oracle[c][lo + i])
+                    ++failures;
+            }
+        }
+    };
+
+    std::vector<std::thread> clients;
+    for (unsigned t = 0; t < 4; ++t)
+        clients.emplace_back(client, 1000 + t);
+    for (auto &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Frontier, ServiceCompileBatchIsSubmitWait)
+{
+    // The synchronous facade and a hand-rolled submit().wait() agree,
+    // and concurrent facade calls (previously serialized) interleave
+    // safely on one service.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 10);
+
+    CompileService service(2);
+    std::vector<CompileResult> via_service;
+    std::vector<CompileResult> via_frontier;
+    std::thread a([&] {
+        via_service = service.compileBatch(jobsFor(loops, m));
+    });
+    std::thread b([&] {
+        auto handle = service.frontier().submit(jobsFor(loops, m));
+        via_frontier = handle.take();
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(digestResults(via_service), digestResults(via_frontier));
+}
+
+} // namespace
+} // namespace cvliw

@@ -337,6 +337,39 @@ TEST(SuiteIo, RejectsTrailingGarbage)
     EXPECT_THROW(loadSuite(file.path()), SuiteIoError);
 }
 
+TEST(SuiteIo, MmapAndSlurpBackendsAgree)
+{
+    // SuiteCacheFile maps the file where it can; CVLIW_SUITE_MMAP=0
+    // forces the slurp fallback. Both backends must produce
+    // bit-identical loops, facts and rejections.
+    const auto built = buildBenchmark("applu");
+    TempFile file("backends.cvsuite");
+    saveSuite(built, file.path(), 42);
+
+    const auto mapped = loadSuite(file.path());
+    setenv("CVLIW_SUITE_MMAP", "0", 1);
+    const auto slurped = loadSuite(file.path());
+    const SuiteCacheFile slurp_cache(file.path());
+    unsetenv("CVLIW_SUITE_MMAP");
+    const SuiteCacheFile map_cache(file.path());
+
+    expectSuitesIdentical(mapped, slurped);
+    ASSERT_EQ(map_cache.loopCount(), slurp_cache.loopCount());
+    const Loop a = map_cache.loadLoop(1);
+    const Loop b = slurp_cache.loadLoop(1);
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    expectDdgIdentical(a.ddg, b.ddg);
+
+    // Corruption is rejected identically through both backends.
+    auto bytes = file.bytes();
+    bytes[bytes.size() - 20] ^= 0x10;
+    file.write(bytes);
+    EXPECT_THROW(loadSuite(file.path()), SuiteIoError);
+    setenv("CVLIW_SUITE_MMAP", "0", 1);
+    EXPECT_THROW(loadSuite(file.path()), SuiteIoError);
+    unsetenv("CVLIW_SUITE_MMAP");
+}
+
 TEST(SuiteIo, LoadOrBuildFallsBackOnBadCache)
 {
     TempFile file("badcache.cvsuite");
