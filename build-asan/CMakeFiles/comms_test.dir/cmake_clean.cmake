@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comms_test.dir/tests/comms_test.cc.o"
+  "CMakeFiles/comms_test.dir/tests/comms_test.cc.o.d"
+  "comms_test"
+  "comms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

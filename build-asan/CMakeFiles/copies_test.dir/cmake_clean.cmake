@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copies_test.dir/tests/copies_test.cc.o"
+  "CMakeFiles/copies_test.dir/tests/copies_test.cc.o.d"
+  "copies_test"
+  "copies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/length_replication.cc" "CMakeFiles/cvliw.dir/src/core/length_replication.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/length_replication.cc.o.d"
+  "/root/repo/src/core/macronode.cc" "CMakeFiles/cvliw.dir/src/core/macronode.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/macronode.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/cvliw.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/core/removable.cc" "CMakeFiles/cvliw.dir/src/core/removable.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/removable.cc.o.d"
+  "/root/repo/src/core/replicator.cc" "CMakeFiles/cvliw.dir/src/core/replicator.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/replicator.cc.o.d"
+  "/root/repo/src/core/spill.cc" "CMakeFiles/cvliw.dir/src/core/spill.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/spill.cc.o.d"
+  "/root/repo/src/core/subgraph.cc" "CMakeFiles/cvliw.dir/src/core/subgraph.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/subgraph.cc.o.d"
+  "/root/repo/src/core/weights.cc" "CMakeFiles/cvliw.dir/src/core/weights.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/core/weights.cc.o.d"
+  "/root/repo/src/ddg/analysis.cc" "CMakeFiles/cvliw.dir/src/ddg/analysis.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/ddg/analysis.cc.o.d"
+  "/root/repo/src/ddg/builder.cc" "CMakeFiles/cvliw.dir/src/ddg/builder.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/ddg/builder.cc.o.d"
+  "/root/repo/src/ddg/ddg.cc" "CMakeFiles/cvliw.dir/src/ddg/ddg.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/ddg/ddg.cc.o.d"
+  "/root/repo/src/ddg/dot.cc" "CMakeFiles/cvliw.dir/src/ddg/dot.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/ddg/dot.cc.o.d"
+  "/root/repo/src/eval/digest.cc" "CMakeFiles/cvliw.dir/src/eval/digest.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/eval/digest.cc.o.d"
+  "/root/repo/src/eval/frontier.cc" "CMakeFiles/cvliw.dir/src/eval/frontier.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/eval/frontier.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/cvliw.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/runner.cc" "CMakeFiles/cvliw.dir/src/eval/runner.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/eval/runner.cc.o.d"
+  "/root/repo/src/eval/service.cc" "CMakeFiles/cvliw.dir/src/eval/service.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/eval/service.cc.o.d"
+  "/root/repo/src/machine/config.cc" "CMakeFiles/cvliw.dir/src/machine/config.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/machine/config.cc.o.d"
+  "/root/repo/src/machine/op_class.cc" "CMakeFiles/cvliw.dir/src/machine/op_class.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/machine/op_class.cc.o.d"
+  "/root/repo/src/partition/coarsen.cc" "CMakeFiles/cvliw.dir/src/partition/coarsen.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/coarsen.cc.o.d"
+  "/root/repo/src/partition/edge_weights.cc" "CMakeFiles/cvliw.dir/src/partition/edge_weights.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/edge_weights.cc.o.d"
+  "/root/repo/src/partition/matching.cc" "CMakeFiles/cvliw.dir/src/partition/matching.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/matching.cc.o.d"
+  "/root/repo/src/partition/multilevel.cc" "CMakeFiles/cvliw.dir/src/partition/multilevel.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/multilevel.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "CMakeFiles/cvliw.dir/src/partition/partition.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/partition.cc.o.d"
+  "/root/repo/src/partition/refine.cc" "CMakeFiles/cvliw.dir/src/partition/refine.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/partition/refine.cc.o.d"
+  "/root/repo/src/sched/comms.cc" "CMakeFiles/cvliw.dir/src/sched/comms.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/comms.cc.o.d"
+  "/root/repo/src/sched/copies.cc" "CMakeFiles/cvliw.dir/src/sched/copies.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/copies.cc.o.d"
+  "/root/repo/src/sched/mii.cc" "CMakeFiles/cvliw.dir/src/sched/mii.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/mii.cc.o.d"
+  "/root/repo/src/sched/pseudo.cc" "CMakeFiles/cvliw.dir/src/sched/pseudo.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/pseudo.cc.o.d"
+  "/root/repo/src/sched/regpressure.cc" "CMakeFiles/cvliw.dir/src/sched/regpressure.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/regpressure.cc.o.d"
+  "/root/repo/src/sched/reservation.cc" "CMakeFiles/cvliw.dir/src/sched/reservation.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/reservation.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "CMakeFiles/cvliw.dir/src/sched/scheduler.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/sms_order.cc" "CMakeFiles/cvliw.dir/src/sched/sms_order.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/sched/sms_order.cc.o.d"
+  "/root/repo/src/support/logging.cc" "CMakeFiles/cvliw.dir/src/support/logging.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/support/logging.cc.o.d"
+  "/root/repo/src/support/rational.cc" "CMakeFiles/cvliw.dir/src/support/rational.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/support/rational.cc.o.d"
+  "/root/repo/src/support/rng.cc" "CMakeFiles/cvliw.dir/src/support/rng.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/support/rng.cc.o.d"
+  "/root/repo/src/support/strutil.cc" "CMakeFiles/cvliw.dir/src/support/strutil.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/support/strutil.cc.o.d"
+  "/root/repo/src/support/table.cc" "CMakeFiles/cvliw.dir/src/support/table.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/support/table.cc.o.d"
+  "/root/repo/src/vliw/checker.cc" "CMakeFiles/cvliw.dir/src/vliw/checker.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/vliw/checker.cc.o.d"
+  "/root/repo/src/vliw/kernel.cc" "CMakeFiles/cvliw.dir/src/vliw/kernel.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/vliw/kernel.cc.o.d"
+  "/root/repo/src/vliw/reference.cc" "CMakeFiles/cvliw.dir/src/vliw/reference.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/vliw/reference.cc.o.d"
+  "/root/repo/src/vliw/simulator.cc" "CMakeFiles/cvliw.dir/src/vliw/simulator.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/vliw/simulator.cc.o.d"
+  "/root/repo/src/workloads/generator.cc" "CMakeFiles/cvliw.dir/src/workloads/generator.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/workloads/generator.cc.o.d"
+  "/root/repo/src/workloads/profiles.cc" "CMakeFiles/cvliw.dir/src/workloads/profiles.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/workloads/profiles.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "CMakeFiles/cvliw.dir/src/workloads/suite.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/workloads/suite.cc.o.d"
+  "/root/repo/src/workloads/suite_io.cc" "CMakeFiles/cvliw.dir/src/workloads/suite_io.cc.o" "gcc" "CMakeFiles/cvliw.dir/src/workloads/suite_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddg_test.dir/tests/ddg_test.cc.o"
+  "CMakeFiles/ddg_test.dir/tests/ddg_test.cc.o.d"
+  "ddg_test"
+  "ddg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

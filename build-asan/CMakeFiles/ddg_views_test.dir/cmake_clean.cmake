@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddg_views_test.dir/tests/ddg_views_test.cc.o"
+  "CMakeFiles/ddg_views_test.dir/tests/ddg_views_test.cc.o.d"
+  "ddg_views_test"
+  "ddg_views_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddg_views_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digest_test.dir/tests/digest_test.cc.o"
+  "CMakeFiles/digest_test.dir/tests/digest_test.cc.o.d"
+  "digest_test"
+  "digest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

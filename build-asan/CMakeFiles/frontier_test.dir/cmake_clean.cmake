@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontier_test.dir/tests/frontier_test.cc.o"
+  "CMakeFiles/frontier_test.dir/tests/frontier_test.cc.o.d"
+  "frontier_test"
+  "frontier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

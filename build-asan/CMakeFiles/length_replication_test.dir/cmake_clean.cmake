@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/length_replication_test.dir/tests/length_replication_test.cc.o"
+  "CMakeFiles/length_replication_test.dir/tests/length_replication_test.cc.o.d"
+  "length_replication_test"
+  "length_replication_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/length_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for length_replication_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mii_test.dir/tests/mii_test.cc.o"
+  "CMakeFiles/mii_test.dir/tests/mii_test.cc.o.d"
+  "mii_test"
+  "mii_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mii_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

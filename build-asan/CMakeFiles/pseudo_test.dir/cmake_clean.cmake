@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_test.dir/tests/pseudo_test.cc.o"
+  "CMakeFiles/pseudo_test.dir/tests/pseudo_test.cc.o.d"
+  "pseudo_test"
+  "pseudo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

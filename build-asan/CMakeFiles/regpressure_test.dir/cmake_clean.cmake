@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regpressure_test.dir/tests/regpressure_test.cc.o"
+  "CMakeFiles/regpressure_test.dir/tests/regpressure_test.cc.o.d"
+  "regpressure_test"
+  "regpressure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regpressure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

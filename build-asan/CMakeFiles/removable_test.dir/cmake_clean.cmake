@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/removable_test.dir/tests/removable_test.cc.o"
+  "CMakeFiles/removable_test.dir/tests/removable_test.cc.o.d"
+  "removable_test"
+  "removable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/removable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

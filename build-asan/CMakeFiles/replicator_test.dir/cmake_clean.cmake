@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicator_test.dir/tests/replicator_test.cc.o"
+  "CMakeFiles/replicator_test.dir/tests/replicator_test.cc.o.d"
+  "replicator_test"
+  "replicator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

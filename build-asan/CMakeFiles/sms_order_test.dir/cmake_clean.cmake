@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sms_order_test.dir/tests/sms_order_test.cc.o"
+  "CMakeFiles/sms_order_test.dir/tests/sms_order_test.cc.o.d"
+  "sms_order_test"
+  "sms_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sms_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

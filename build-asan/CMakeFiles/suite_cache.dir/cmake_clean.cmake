@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_cache"
+  "suite-42.cvsuite"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/suite_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

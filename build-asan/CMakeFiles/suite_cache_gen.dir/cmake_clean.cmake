@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_cache_gen.dir/tools/suite_cache_gen.cc.o"
+  "CMakeFiles/suite_cache_gen.dir/tools/suite_cache_gen.cc.o.d"
+  "suite_cache_gen"
+  "suite_cache_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_cache_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_io_test.dir/tests/suite_io_test.cc.o"
+  "CMakeFiles/suite_io_test.dir/tests/suite_io_test.cc.o.d"
+  "suite_io_test"
+  "suite_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
