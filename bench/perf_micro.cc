@@ -469,6 +469,88 @@ BM_FrontierMixedTenants(benchmark::State &state)
 BENCHMARK(BM_FrontierMixedTenants)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Fault-isolation overhead guard: a healthy tenant shares the pool
+ * with a tenant whose every job times out instantly (stepBudget = -1
+ * expires at the first checkpoint - deterministic, no fault points
+ * armed, so this also measures the disarmed faults::point() cost on
+ * the hot path). The measured number is the healthy tenant's batch
+ * latency with the faulty neighbour present; the healthy_solo_ms
+ * counter is the same batch on the same frontier with no neighbour,
+ * and overhead_pct their relative gap. Per-job error isolation is
+ * cheap bookkeeping plus a cache rebuild on the faulty worker, so the
+ * gap must stay within noise of the faulty tenant's (tiny) queue
+ * share - a regression here means failures started bleeding into
+ * healthy tenants' throughput.
+ */
+void
+BM_FrontierFaultyTenant(benchmark::State &state)
+{
+    std::vector<Loop> healthy_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 4)
+        healthy_loops.push_back(suite()[i]);
+    std::vector<Loop> faulty_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 16)
+        faulty_loops.push_back(suite()[i]);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    PipelineOptions instant_timeout;
+    instant_timeout.stepBudget = -1;
+
+    auto jobs = [&](const std::vector<Loop> &loops,
+                    const PipelineOptions *opts) {
+        std::vector<Frontier::Job> js(loops.size());
+        for (std::size_t i = 0; i < loops.size(); ++i)
+            js[i] = Frontier::Job{&loops[i].ddg, &m, opts};
+        return js;
+    };
+
+    Frontier frontier;
+    double with_faulty_ms = 0;
+    double solo_ms = 0;
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        // Phase 1 (measured): healthy batch with the faulty tenant
+        // submitted first at equal priority, so its timed-out jobs
+        // interleave with the healthy ones on every worker.
+        const auto t0 = std::chrono::steady_clock::now();
+        auto faulty =
+            frontier.submit(jobs(faulty_loops, &instant_timeout));
+        auto healthy = frontier.submit(jobs(healthy_loops, nullptr));
+        healthy.wait();
+        const auto t1 = std::chrono::steady_clock::now();
+        faulty.wait();
+
+        // Phase 2 (baseline, excluded from the measured time): the
+        // same healthy batch, no neighbour.
+        state.PauseTiming();
+        const auto t2 = std::chrono::steady_clock::now();
+        auto solo = frontier.submit(jobs(healthy_loops, nullptr));
+        solo.wait();
+        const auto t3 = std::chrono::steady_clock::now();
+        state.ResumeTiming();
+
+        with_faulty_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        solo_ms +=
+            std::chrono::duration<double, std::milli>(t3 - t2).count();
+        ++iterations;
+    }
+    const double avg_with =
+        iterations ? with_faulty_ms / static_cast<double>(iterations)
+                   : 0.0;
+    const double avg_solo =
+        iterations ? solo_ms / static_cast<double>(iterations) : 0.0;
+    state.counters["healthy_solo_ms"] = avg_solo;
+    state.counters["overhead_pct"] =
+        avg_solo > 0 ? 100.0 * (avg_with - avg_solo) / avg_solo : 0.0;
+    state.SetLabel(std::to_string(frontier.numWorkers()) +
+                   " workers, " + std::to_string(healthy_loops.size()) +
+                   " healthy + " + std::to_string(faulty_loops.size()) +
+                   " timing-out loops");
+}
+BENCHMARK(BM_FrontierFaultyTenant)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

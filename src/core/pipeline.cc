@@ -10,6 +10,7 @@
 #include "sched/comms.hh"
 #include "sched/copies.hh"
 #include "sched/mii.hh"
+#include "support/faultpoint.hh"
 #include "support/logging.hh"
 
 namespace cvliw
@@ -70,6 +71,15 @@ CompileResult
 compile(const Ddg &original, const MachineConfig &mach,
         const PipelineOptions &opts, CompileCaches &caches)
 {
+    faults::point("pipeline.start");
+
+    // Cooperative deadline: one checkpoint here (so "expire
+    // immediately" configurations never reach the initial partition),
+    // one per II attempt below, one per replication round inside
+    // reduceCommunications. Inactive with default options.
+    CooperativeDeadline deadline(opts.stepBudget, opts.softDeadlineMs);
+    deadline.checkpoint("compile entry");
+
     CompileResult result;
     result.mii = minimumIi(original, mach);
     result.usefulOps = original.numNodes();
@@ -97,6 +107,8 @@ compile(const Ddg &original, const MachineConfig &mach,
     int best_worst_live = std::numeric_limits<int>::max();
 
     for (int ii = result.mii; ii <= opts.maxIi; ++ii) {
+        faults::point("pipeline.ii_bump");
+        deadline.checkpoint("II bump");
         if (ii > result.mii) {
             // Figure 2: more slots per cluster, so refine.
             pr.partition = refinePartition(original, mach,
@@ -117,7 +129,8 @@ compile(const Ddg &original, const MachineConfig &mach,
             if (opts.replication) {
                 repl_ok = reduceCommunications(
                     work, part, mach, ii, &rstats, opts.mode,
-                    &pr.hierarchy, &caches.subgraph);
+                    &pr.hierarchy, &caches.subgraph,
+                    deadline.active() ? &deadline : nullptr);
             } else {
                 rstats.comsInitial =
                     findCommunications(work, part.vec()).count();

@@ -12,11 +12,13 @@
 #ifndef CVLIW_CORE_PIPELINE_HH
 #define CVLIW_CORE_PIPELINE_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/replicator.hh"
 #include "sched/pseudo.hh"
 #include "sched/scheduler.hh"
+#include "support/deadline.hh"
 
 namespace cvliw
 {
@@ -55,6 +57,31 @@ struct PipelineOptions
      * MaxLive improvement the loop is reported as failed.
      */
     int registerStagnationLimit = 24;
+
+    /**
+     * Cooperative step budget: every deadline checkpoint - compile
+     * entry, each II attempt, each replication round - consumes one
+     * step, and exceeding the budget throws DeadlineExceeded
+     * (support/deadline.hh), discarding the partial work. 0 = no
+     * budget (the default; compile never throws for budget reasons).
+     * Negative budgets expire at the very first checkpoint, before
+     * the initial partition - the deterministic "fail immediately"
+     * configuration. Deterministic: a given (graph, machine, opts)
+     * always times out at the same boundary.
+     */
+    std::int64_t stepBudget = 0;
+
+    /**
+     * Soft wall-clock deadline in milliseconds from compile entry,
+     * checked at the same cooperative boundaries as stepBudget; on
+     * expiry compile throws DeadlineExceeded. "Soft": overrun is
+     * bounded by the longest stretch between checkpoints, nothing is
+     * pre-empted mid-kernel. 0 = no deadline (the default). Negative
+     * values expire at the first checkpoint (deterministic tests).
+     * Unlike stepBudget this limit is inherently timing-dependent;
+     * use the budget where reproducibility matters.
+     */
+    double softDeadlineMs = 0.0;
 };
 
 /** Everything the pipeline produced for one loop. */
@@ -115,6 +142,16 @@ struct CompileCaches
 /**
  * Compile @p original for @p mach.
  * The input graph is copied; the caller's DDG is never modified.
+ *
+ * With default options compile never throws for policy reasons: an
+ * infeasible job returns `ok == false`. When @p opts arms a deadline
+ * (stepBudget / softDeadlineMs) an expired limit throws
+ * DeadlineExceeded at the next cooperative checkpoint, and an armed
+ * fault-injection schedule (support/faultpoint.hh) may throw
+ * FaultInjected at the compiled-in fault points. The serving frontier
+ * catches both and turns them into structured per-job outcomes
+ * (`TimedOut` / `Failed`); direct callers that arm either feature own
+ * the catch.
  */
 CompileResult compile(const Ddg &original, const MachineConfig &mach,
                       const PipelineOptions &opts = {});
@@ -122,6 +159,13 @@ CompileResult compile(const Ddg &original, const MachineConfig &mach,
 /**
  * Compile reusing @p caches (see CompileCaches). Bit-identical to the
  * cache-less overload for any cache state.
+ *
+ * If compile exits by throwing (deadline, injected fault, or a bug),
+ * @p caches may hold a memo that was mid-update. Every memo is keyed
+ * on (generation, config-id) so a *subsequent lookup* can still never
+ * return wrong data, but the conservative contract - the one the
+ * frontier's workers follow - is to quarantine: discard and replace
+ * the caches after any throwing compile.
  */
 CompileResult compile(const Ddg &original, const MachineConfig &mach,
                       const PipelineOptions &opts,

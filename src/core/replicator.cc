@@ -6,6 +6,8 @@
 #include "core/removable.hh"
 #include "core/weights.hh"
 #include "sched/comms.hh"
+#include "support/deadline.hh"
+#include "support/faultpoint.hh"
 #include "support/logging.hh"
 
 namespace cvliw
@@ -291,7 +293,8 @@ reduceCommunications(Ddg &ddg, Partition &part,
                      const MachineConfig &mach, int ii,
                      ReplicationStats *stats, ReplicationMode mode,
                      const CoarseningHierarchy *hier,
-                     SubgraphScratch *scratch)
+                     SubgraphScratch *scratch,
+                     CooperativeDeadline *deadline)
 {
     if (mach.isUnified())
         return true;
@@ -353,6 +356,9 @@ reduceCommunications(Ddg &ddg, Partition &part,
     while (true) {
         if (extraComs(comms.count(), mach, ii) == 0)
             return true; // no pool work when nothing must be removed
+        faults::point("replicate.round");
+        if (deadline)
+            deadline->checkpoint("replication round");
         if (stats)
             ++stats->roundsConsidered;
 

@@ -1,14 +1,32 @@
 #include "eval/frontier.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 
+#include "support/deadline.hh"
+#include "support/faultpoint.hh"
 #include "support/logging.hh"
 
 namespace cvliw
 {
+
+const char *
+toString(JobOutcome outcome)
+{
+    switch (outcome) {
+    case JobOutcome::Pending:   return "pending";
+    case JobOutcome::Ok:        return "ok";
+    case JobOutcome::Failed:    return "failed";
+    case JobOutcome::TimedOut:  return "timed-out";
+    case JobOutcome::Cancelled: return "cancelled";
+    case JobOutcome::Rejected:  return "rejected";
+    }
+    return "unknown";
+}
 
 namespace detail
 {
@@ -20,7 +38,9 @@ namespace detail
  * owning FrontierState's mutex; `results[i]` is written lock-free by
  * the one worker that claimed job i and read by clients only after
  * they observed `done` under the mutex (mutex release/acquire orders
- * the slot write before the read).
+ * the slot write before the read). `outcomes[i]`/`errors[i]` are
+ * readable before `done` (outcome()/errorOf() have no done gate), so
+ * they are written under the mutex.
  */
 struct BatchControl
 {
@@ -33,16 +53,28 @@ struct BatchControl
     // Guarded by state->mutex.
     std::size_t next = 0;     //!< next unclaimed job (FIFO in batch)
     std::size_t inFlight = 0; //!< claimed, compile still running
-    std::size_t compiled = 0; //!< compiles finished
+    std::size_t okCount = 0;       //!< jobs completed Ok
+    std::size_t failedCount = 0;   //!< jobs whose compile threw
+    std::size_t timedOutCount = 0; //!< jobs past deadline/budget
+    std::size_t droppedCount = 0;  //!< jobs dropped by cancel()
     bool cancelled = false;
+    bool rejected = false; //!< whole batch refused by admission
     bool done = false;
 
     std::vector<CompileResult> results;
-    std::vector<char> ran; //!< 1 = compiled (vs dropped by cancel)
+    std::vector<char> ran;            //!< 1 = completed Ok
+    std::vector<JobOutcome> outcomes; //!< per-job terminal state
+    std::vector<std::string> errors;  //!< why a job is not Ok
 
     bool exhausted() const
     {
         return cancelled || next >= jobs.size();
+    }
+
+    /** Jobs that reached a terminal state via a worker. */
+    std::size_t terminalViaWorker() const
+    {
+        return okCount + failedCount + timedOutCount;
     }
 };
 
@@ -52,14 +84,30 @@ struct BatchControl
  * handle can keep waiting/cancelling safely after the frontier object
  * is gone (by then the destructor has drained every batch, so those
  * calls return immediately - but they must not touch a dead mutex).
+ * The serving counters live here too: a handle that outlives the
+ * frontier keeps them consistent through its own cancel() calls.
  */
 struct FrontierState
 {
     std::mutex mutex;
-    std::condition_variable workCv; //!< workers: ready work or stop
-    std::condition_variable doneCv; //!< clients: some batch completed
+    std::condition_variable workCv;  //!< workers: ready work or stop
+    std::condition_variable doneCv;  //!< clients: some batch completed
+    std::condition_variable admitCv; //!< blocked submitters: room freed
     bool stopping = false;
     std::uint64_t seqCounter = 0;
+
+    FrontierLimits limits;
+
+    // Serving counters (FrontierStats), guarded by mutex.
+    std::uint64_t batchesSubmitted = 0;
+    std::uint64_t batchesRejected = 0;
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsOk = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsTimedOut = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t jobsRejected = 0;
+    std::size_t pendingJobs = 0; //!< admitted, not yet terminal
 
     /**
      * The frontier proper: every batch that still has unclaimed jobs,
@@ -100,6 +148,15 @@ struct FrontierState
             }
         }
         return pick;
+    }
+
+    /** A terminal job freed queue room; wake blocked submitters. */
+    void admitRoomFreed()
+    {
+        if (limits.maxPendingJobs != 0 &&
+            limits.policy == AdmissionPolicy::Block) {
+            admitCv.notify_all();
+        }
     }
 };
 
@@ -167,9 +224,12 @@ Frontier::BatchHandle::status() const
     BatchStatus s;
     s.done = ctl_->done;
     s.cancelled = ctl_->cancelled;
-    s.compiled = ctl_->compiled;
+    s.compiled = ctl_->okCount;
+    s.failed = ctl_->failedCount;
+    s.timedOut = ctl_->timedOutCount;
+    s.dropped = ctl_->droppedCount;
+    s.rejected = ctl_->rejected ? ctl_->jobs.size() : 0;
     s.total = ctl_->jobs.size();
-    s.dropped = ctl_->cancelled ? ctl_->jobs.size() - ctl_->next : 0;
     return s;
 }
 
@@ -210,6 +270,24 @@ Frontier::BatchHandle::ran(std::size_t i) const
     return ctl_->ran[i] != 0;
 }
 
+JobOutcome
+Frontier::BatchHandle::outcome(std::size_t i) const
+{
+    cv_assert(ctl_, "empty batch handle");
+    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    return ctl_->outcomes[i];
+}
+
+std::string
+Frontier::BatchHandle::errorOf(std::size_t i) const
+{
+    cv_assert(ctl_, "empty batch handle");
+    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    return ctl_->errors[i];
+}
+
 std::size_t
 Frontier::BatchHandle::cancel() const
 {
@@ -220,7 +298,13 @@ Frontier::BatchHandle::cancel() const
         return 0; // idempotent; finished batches are left intact
     ctl.cancelled = true;
     const std::size_t dropped = ctl.jobs.size() - ctl.next;
+    ctl.droppedCount = dropped;
+    for (std::size_t i = ctl.next; i < ctl.jobs.size(); ++i)
+        ctl.outcomes[i] = JobOutcome::Cancelled;
     ctl.state->unqueue(&ctl);
+    ctl.state->jobsCancelled += dropped;
+    ctl.state->pendingJobs -= dropped;
+    ctl.state->admitRoomFreed();
     // In-flight jobs finish cooperatively; the last one completes the
     // batch. With nothing in flight the batch is done right here.
     if (ctl.inFlight == 0)
@@ -234,20 +318,37 @@ int
 Frontier::defaultWorkerCount()
 {
     if (const char *env = std::getenv("CVLIW_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
+        char *end = nullptr;
+        errno = 0;
+        const long n = std::strtol(env, &end, 10);
+        const bool clean = end != env && *end == '\0' &&
+                           errno != ERANGE;
+        if (clean && n > 0 && n <= 1 << 16)
+            return static_cast<int>(n);
+        // Garbage must not silently become the hardware default: a
+        // fleet config typo ("4x", "abc", an overflow) would
+        // otherwise change pool sizes with no trace. Warn once; the
+        // fallback below still keeps the process serving.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            cv_warn("ignoring invalid CVLIW_THREADS='", env,
+                    "' (want a positive integer <= 65536); using "
+                    "hardware concurrency");
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
 }
 
-Frontier::Frontier(int workers)
-    : state_(std::make_shared<FrontierState>())
+Frontier::Frontier(int workers, FrontierLimits limits)
+    : state_(std::make_shared<FrontierState>()), limits_(limits)
 {
+    state_->limits = limits;
     if (workers <= 0)
         workers = defaultWorkerCount();
-    caches_.resize(static_cast<std::size_t>(workers));
+    caches_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        caches_.push_back(std::make_unique<CompileCaches>());
     workers_.reserve(static_cast<std::size_t>(workers));
     try {
         for (int w = 0; w < workers; ++w) {
@@ -274,7 +375,9 @@ Frontier::~Frontier()
     // Drain, don't drop: every batch already submitted runs to
     // completion (the synchronous facade depends on it), then the
     // workers exit. Clients that wanted their pending work gone
-    // cancel their handles before letting the frontier die.
+    // cancel their handles before letting the frontier die. Jobs
+    // that fail or time out while draining still land as structured
+    // per-job outcomes on their handles.
     {
         std::lock_guard<std::mutex> lock(state_->mutex);
         state_->stopping = true;
@@ -284,10 +387,27 @@ Frontier::~Frontier()
         t.join();
 }
 
+FrontierStats
+Frontier::stats() const
+{
+    const FrontierState &st = *state_;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    FrontierStats s;
+    s.batchesSubmitted = st.batchesSubmitted;
+    s.batchesRejected = st.batchesRejected;
+    s.jobsSubmitted = st.jobsSubmitted;
+    s.jobsOk = st.jobsOk;
+    s.jobsFailed = st.jobsFailed;
+    s.jobsTimedOut = st.jobsTimedOut;
+    s.jobsCancelled = st.jobsCancelled;
+    s.jobsRejected = st.jobsRejected;
+    s.pendingJobs = st.pendingJobs;
+    return s;
+}
+
 void
 Frontier::workerMain(std::size_t worker_index)
 {
-    CompileCaches &caches = caches_[worker_index];
     FrontierState &st = *state_;
     std::unique_lock<std::mutex> lock(st.mutex);
     while (true) {
@@ -315,15 +435,76 @@ Frontier::workerMain(std::size_t worker_index)
             st.unqueue(ctl.get());
 
         lock.unlock();
-        const Job &job = ctl->jobs[i];
-        ctl->results[i] =
-            job.opts ? compile(*job.ddg, *job.mach, *job.opts, caches)
-                     : compile(*job.ddg, *job.mach, {}, caches);
-        lock.lock();
 
-        ctl->ran[i] = 1;
-        ++ctl->compiled;
+        // Per-job error isolation: everything a job can throw -
+        // injected faults, cooperative deadline expiry, genuine bugs
+        // on malformed inputs - lands in this worker's catch, becomes
+        // a structured outcome on the batch, and leaves the worker,
+        // the batch and every other tenant running. A throw discards
+        // the job's partial work (the local `res` below); the shared
+        // caches are quarantined after the bookkeeping.
+        const Job &job = ctl->jobs[i];
+        JobOutcome outcome = JobOutcome::Ok;
+        std::string error;
+        CompileResult res;
+        try {
+            faults::point("frontier.claim");
+            CompileCaches &caches = *caches_[worker_index];
+            res = job.opts
+                      ? compile(*job.ddg, *job.mach, *job.opts, caches)
+                      : compile(*job.ddg, *job.mach, {}, caches);
+            faults::point("frontier.complete");
+        } catch (const DeadlineExceeded &err) {
+            outcome = JobOutcome::TimedOut;
+            error = err.what();
+        } catch (const std::exception &err) {
+            outcome = JobOutcome::Failed;
+            error = err.what();
+            if (error.empty())
+                error = "unknown error";
+        } catch (...) {
+            outcome = JobOutcome::Failed;
+            error = "non-standard exception";
+        }
+
+        if (outcome != JobOutcome::Ok) {
+            // Quarantine: the throw may have unwound through a memo
+            // mid-mutation. The (generation, config-id) keys make a
+            // stale *hit* impossible, but a half-written buffer is
+            // still a liability - rebuilding the caches restores the
+            // documented invariant ("any cache state is equivalent to
+            // fresh") by force. Failure is the rare path; the rebuild
+            // cost is noise.
+            caches_[worker_index] = std::make_unique<CompileCaches>();
+            res = CompileResult{};
+        }
+        // Lock-free slot write, ordered before any reader by the
+        // mutex acquire/release below (readers see results only
+        // after observing done, or this job's terminal outcome,
+        // under the mutex).
+        ctl->results[i] = std::move(res);
+
+        lock.lock();
+        ctl->outcomes[i] = outcome;
+        ctl->errors[i] = std::move(error);
+        switch (outcome) {
+        case JobOutcome::Ok:
+            ctl->ran[i] = 1;
+            ++ctl->okCount;
+            ++st.jobsOk;
+            break;
+        case JobOutcome::TimedOut:
+            ++ctl->timedOutCount;
+            ++st.jobsTimedOut;
+            break;
+        default:
+            ++ctl->failedCount;
+            ++st.jobsFailed;
+            break;
+        }
         --ctl->inFlight;
+        --st.pendingJobs;
+        st.admitRoomFreed();
         // Completion is per batch: done when no claimable job remains
         // (all claimed, or the rest were dropped by cancel) and the
         // last in-flight job - this one - has landed.
@@ -344,18 +525,53 @@ Frontier::submit(std::vector<Job> jobs, int priority)
     ctl->jobs = std::move(jobs);
     ctl->priority = priority;
     ctl->state = state_;
-    ctl->results.resize(ctl->jobs.size());
-    ctl->ran.assign(ctl->jobs.size(), 0);
+    const std::size_t n = ctl->jobs.size();
+    ctl->results.resize(n);
+    ctl->ran.assign(n, 0);
+    ctl->outcomes.assign(n, JobOutcome::Pending);
+    ctl->errors.resize(n);
 
     {
-        std::lock_guard<std::mutex> lock(state_->mutex);
-        ctl->seq = state_->seqCounter++;
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        FrontierState &st = *state_;
+        const std::size_t cap = st.limits.maxPendingJobs;
+        if (cap != 0 && n > 0 && st.pendingJobs + n > cap) {
+            if (st.limits.policy == AdmissionPolicy::Reject) {
+                // Fast-fail: the batch never queues, the handle is
+                // born complete, and the caller learns why per job.
+                ctl->seq = st.seqCounter++;
+                ctl->rejected = true;
+                const std::string reason = detail::concat(
+                    "admission control: queue full (", st.pendingJobs,
+                    " pending + ", n, " submitted > cap ", cap, ")");
+                for (std::size_t i = 0; i < n; ++i) {
+                    ctl->outcomes[i] = JobOutcome::Rejected;
+                    ctl->errors[i] = reason;
+                }
+                ++st.batchesRejected;
+                st.jobsRejected += n;
+                detail::finishBatch(*ctl);
+                return BatchHandle(std::move(ctl));
+            }
+            // Block: park until the pool drains enough room. A batch
+            // larger than the whole cap can never fit; admit it alone
+            // once the frontier is idle instead of deadlocking.
+            st.admitCv.wait(lock, [&] {
+                return st.pendingJobs + n <= cap ||
+                       st.pendingJobs == 0;
+            });
+        }
+
+        ctl->seq = st.seqCounter++;
+        ++st.batchesSubmitted;
+        st.jobsSubmitted += n;
+        st.pendingJobs += n;
         if (ctl->jobs.empty()) {
             // Nothing to claim: complete on the spot, never queued.
             detail::finishBatch(*ctl);
             return BatchHandle(std::move(ctl));
         }
-        state_->ready.push_back(ctl);
+        st.ready.push_back(ctl);
     }
     state_->workCv.notify_all();
     return BatchHandle(std::move(ctl));

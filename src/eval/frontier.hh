@@ -56,6 +56,36 @@
  * (`CompileService::compileBatch` = `submit().wait()`) relies on
  * that - then joins the workers.
  *
+ * ## Failure semantics
+ *
+ * Jobs fail *individually*, never collectively. Each worker wraps its
+ * claimed compile in a catch-everything boundary: an exception - a
+ * poisoned graph, an injected fault (support/faultpoint.hh), a bug -
+ * becomes a structured `JobOutcome::Failed` with the error text kept
+ * per job (`outcome(i)` / `errorOf(i)`), a cooperative deadline expiry
+ * (support/deadline.hh, armed via PipelineOptions::stepBudget /
+ * softDeadlineMs) becomes `TimedOut`, and in every case the worker,
+ * the rest of the batch, every other batch and the process itself
+ * carry on untouched. After any non-Ok outcome the worker's
+ * `CompileCaches` is quarantined - discarded and rebuilt - so a throw
+ * out of a mid-mutation memo can never leak state into later jobs.
+ * Partial work of a failed/timed-out job is discarded: `results()[i]`
+ * holds a default CompileResult and `ran(i)` is false.
+ *
+ * ## Admission control
+ *
+ * A frontier constructed with `FrontierLimits::maxPendingJobs > 0`
+ * bounds its queue depth. When a submit would push the pending-job
+ * count past the cap, the policy decides: `Reject` (the default)
+ * fast-fails the whole batch - the returned handle is already
+ * complete with every outcome `Rejected` and an explanatory error
+ * string - while `Block` parks the submitter until the pool drains
+ * enough room (a batch larger than the whole cap is admitted alone
+ * once the frontier is idle, so oversized batches cannot deadlock).
+ * Per-frontier counters (submitted / ok / failed / timed-out /
+ * cancelled / rejected, plus the live queue depth) are exported as a
+ * `FrontierStats` snapshot via `stats()`.
+ *
  * ## Lifetime contract
  *
  * `submit` copies the job descriptors, but the pointed-to graphs,
@@ -70,7 +100,9 @@
 #define CVLIW_EVAL_FRONTIER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -85,6 +117,65 @@ struct BatchControl;
 struct FrontierState;
 } // namespace detail
 
+/**
+ * Terminal state of one submitted job (see the "Failure semantics"
+ * section of the file comment). `Pending` is the only non-terminal
+ * value and is never observed once the batch is done.
+ */
+enum class JobOutcome : std::uint8_t
+{
+    Pending,   //!< not finished yet (never seen on a done batch)
+    Ok,        //!< compile ran to completion; results()[i] is valid
+    Failed,    //!< compile threw; errorOf(i) holds the reason
+    TimedOut,  //!< cooperative deadline/budget expired mid-compile
+    Cancelled, //!< dropped by cancel() before any worker claimed it
+    Rejected,  //!< refused by admission control at submit time
+};
+
+/** Stable lowercase name of @p outcome (for logs and tests). */
+const char *toString(JobOutcome outcome);
+
+/** What submit() does when the queue-depth cap would be exceeded. */
+enum class AdmissionPolicy : std::uint8_t
+{
+    Reject, //!< fast-fail the batch: every job outcome = Rejected
+    Block,  //!< park the submitter until the pool drains enough room
+};
+
+/** Queue-depth bound for one frontier (default: unlimited). */
+struct FrontierLimits
+{
+    /**
+     * Maximum jobs pending (submitted, not yet terminal) across all
+     * batches; 0 = unlimited. A single batch larger than the cap is
+     * only ever admitted when the frontier is idle (Block) or
+     * rejected outright (Reject).
+     */
+    std::size_t maxPendingJobs = 0;
+
+    AdmissionPolicy policy = AdmissionPolicy::Reject;
+};
+
+/**
+ * Monotonic per-frontier counters plus the live queue depth; one
+ * consistent snapshot via Frontier::stats(). Job counts are terminal
+ * and disjoint: jobsSubmitted (admitted jobs) ==
+ * jobsOk + jobsFailed + jobsTimedOut + jobsCancelled + pendingJobs,
+ * and rejected jobs are counted only in jobsRejected.
+ */
+struct FrontierStats
+{
+    std::uint64_t batchesSubmitted = 0; //!< admitted batches
+    std::uint64_t batchesRejected = 0;  //!< refused by admission
+    std::uint64_t jobsSubmitted = 0;    //!< jobs in admitted batches
+    std::uint64_t jobsOk = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsTimedOut = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t jobsRejected = 0;
+    std::size_t pendingJobs = 0; //!< current queue depth
+};
+
 class Frontier
 {
   public:
@@ -96,13 +187,20 @@ class Frontier
         const PipelineOptions *opts = nullptr; //!< null = defaults
     };
 
-    /** Snapshot of one batch's progress (see BatchHandle::status). */
+    /**
+     * Snapshot of one batch's progress (see BatchHandle::status).
+     * When done, compiled + failed + timedOut + dropped + rejected
+     * == total.
+     */
     struct BatchStatus
     {
-        bool done = false;      //!< complete: compiled + dropped == total
+        bool done = false;      //!< every job reached a terminal state
         bool cancelled = false; //!< cancel() was called before done
-        std::size_t compiled = 0; //!< jobs whose compile finished
+        std::size_t compiled = 0; //!< jobs that completed Ok
+        std::size_t failed = 0;   //!< jobs whose compile threw
+        std::size_t timedOut = 0; //!< jobs past their deadline/budget
         std::size_t dropped = 0;  //!< jobs dropped by cancellation
+        std::size_t rejected = 0; //!< jobs refused by admission control
         std::size_t total = 0;    //!< jobs submitted
     };
 
@@ -165,10 +263,26 @@ class Frontier
         std::vector<CompileResult> take();
 
         /**
-         * True when job @p i was compiled (false: dropped by cancel,
-         * or not finished yet). Stable once the batch is done.
+         * True when job @p i completed Ok - equivalent to
+         * `outcome(i) == JobOutcome::Ok` (false: failed, timed out,
+         * dropped by cancel, rejected, or not finished yet). Stable
+         * once the batch is done.
          */
         bool ran(std::size_t i) const;
+
+        /**
+         * Terminal state of job @p i; JobOutcome::Pending while the
+         * job has not finished. Stable once the batch is done.
+         */
+        JobOutcome outcome(std::size_t i) const;
+
+        /**
+         * Why job @p i did not complete Ok: the exception text for
+         * Failed/TimedOut, the admission message for Rejected, empty
+         * for Ok/Cancelled/Pending. Always non-empty for
+         * Failed/TimedOut/Rejected.
+         */
+        std::string errorOf(std::size_t i) const;
 
         /**
          * Cooperatively cancel: jobs nobody claimed yet are dropped;
@@ -188,15 +302,18 @@ class Frontier
     /**
      * Pool size a default-constructed frontier uses: the
      * CVLIW_THREADS environment variable, then hardware concurrency,
-     * then 1. Does not construct anything.
+     * then 1. An unparsable or out-of-range CVLIW_THREADS (trailing
+     * junk, overflow, non-positive) is ignored with a once-per-process
+     * stderr warning. Does not construct anything.
      */
     static int defaultWorkerCount();
 
     /**
      * Start the worker pool.
      * @param workers thread count; <= 0 picks defaultWorkerCount()
+     * @param limits admission control (default: unlimited queue)
      */
-    explicit Frontier(int workers = 0);
+    explicit Frontier(int workers = 0, FrontierLimits limits = {});
 
     /** Drains every submitted batch, then joins the workers. */
     ~Frontier();
@@ -212,11 +329,20 @@ class Frontier
     /**
      * Submit @p jobs as one batch with @p priority (higher runs
      * sooner; the default 0 is a plain background batch). Returns
-     * immediately; the batch runs concurrently with every other batch
-     * in flight. Safe from any thread. An empty batch completes
-     * immediately.
+     * immediately unless admission control says otherwise (see the
+     * file comment: Reject hands back an already-complete batch of
+     * `Rejected` outcomes; Block parks the caller until there is
+     * room). The batch runs concurrently with every other batch in
+     * flight. Safe from any thread. An empty batch completes
+     * immediately and bypasses admission control.
      */
     BatchHandle submit(std::vector<Job> jobs, int priority = 0);
+
+    /** One consistent snapshot of the serving counters. */
+    FrontierStats stats() const;
+
+    /** The admission limits this frontier was constructed with. */
+    const FrontierLimits &limits() const { return limits_; }
 
   private:
     void workerMain(std::size_t worker_index);
@@ -229,8 +355,12 @@ class Frontier
     std::vector<std::thread> workers_;
 
     // One long-lived cache set per worker, index-aligned with
-    // workers_. Only worker i touches caches_[i].
-    std::vector<CompileCaches> caches_;
+    // workers_. Only worker i touches caches_[i]; held by pointer so
+    // a worker can quarantine (rebuild) its caches after a job threw
+    // out of a possibly mid-mutation memo.
+    std::vector<std::unique_ptr<CompileCaches>> caches_;
+
+    FrontierLimits limits_;
 };
 
 } // namespace cvliw

@@ -13,6 +13,17 @@ CompileService::compileBatch(const std::vector<Job> &jobs)
     // until take() returns. Default priority: synchronous callers are
     // plain tenants, overtaken by anything urgent on the frontier.
     Frontier::BatchHandle handle = frontier_.submit(jobs);
+    handle.wait();
+    // The facade flattens the outcome taxonomy to result.ok, so a
+    // non-Ok job must at least be visible in the log (async clients
+    // read outcome()/errorOf() instead and get no warning).
+    for (std::size_t i = 0; i < handle.size(); ++i) {
+        const JobOutcome outcome = handle.outcome(i);
+        if (outcome != JobOutcome::Ok) {
+            cv_warn("batch job ", i, " ", toString(outcome), ": ",
+                    handle.errorOf(i));
+        }
+    }
     return handle.take();
 }
 

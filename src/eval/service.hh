@@ -71,8 +71,13 @@ class CompileService
     /**
      * Start the worker pool.
      * @param workers thread count; <= 0 picks defaultWorkerCount()
+     * @param limits admission control for the underlying frontier
+     *        (default: unlimited; see eval/frontier.hh)
      */
-    explicit CompileService(int workers = 0) : frontier_(workers) {}
+    explicit CompileService(int workers = 0, FrontierLimits limits = {})
+        : frontier_(workers, limits)
+    {
+    }
 
     /** Drains every submitted batch and joins the workers. */
     ~CompileService() = default;
@@ -94,6 +99,14 @@ class CompileService
      * the batch is done - a `submit().wait()` wrapper. Deterministic:
      * the results never depend on the worker count, on scheduling, or
      * on other batches in flight.
+     *
+     * Failure semantics follow the frontier: a job that throws, times
+     * out (PipelineOptions::stepBudget / softDeadlineMs) or is
+     * rejected yields a default CompileResult (`ok == false`) in its
+     * slot - with a one-line warning naming the outcome and error -
+     * and never disturbs the other jobs. Callers that need the full
+     * taxonomy submit through frontier() and read `outcome(i)` /
+     * `errorOf(i)` themselves.
      */
     std::vector<CompileResult> compileBatch(const std::vector<Job> &jobs);
 

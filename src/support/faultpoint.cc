@@ -1,0 +1,339 @@
+#include "support/faultpoint.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/fnv.hh"
+#include "support/logging.hh"
+
+namespace cvliw
+{
+namespace faults
+{
+
+namespace detail
+{
+std::atomic<bool> armedFlag{false};
+} // namespace detail
+
+namespace
+{
+
+struct Term
+{
+    enum class Trigger : std::uint8_t
+    {
+        NthOnce,  //!< fire on hit n exactly
+        NthOn,    //!< fire on hit n and every later one
+        Seeded,   //!< fire when fnv1a(seed, hit) % 100 < pct
+    };
+    enum class Action : std::uint8_t
+    {
+        Throw,
+        Delay,
+    };
+
+    std::string point;
+    Trigger trigger = Trigger::NthOnce;
+    std::uint64_t n = 1;    //!< NthOnce / NthOn threshold
+    std::uint64_t seed = 0; //!< Seeded
+    std::uint64_t pct = 0;  //!< Seeded fire percentage [0, 100]
+    Action action = Action::Throw;
+    std::string message;    //!< Throw
+    double delayMs = 0.0;   //!< Delay
+
+    std::uint64_t hits = 0; //!< guarded by the injector mutex
+
+    bool firesOn(std::uint64_t hit) const
+    {
+        switch (trigger) {
+        case Trigger::NthOnce:
+            return hit == n;
+        case Trigger::NthOn:
+            return hit >= n;
+        case Trigger::Seeded: {
+            std::uint64_t h = kFnv1aOffset;
+            const auto mix = [&h](std::uint64_t v) {
+                for (int b = 0; b < 8; ++b) {
+                    h ^= (v >> (8 * b)) & 0xff;
+                    h *= kFnv1aPrime;
+                }
+            };
+            mix(seed);
+            mix(hit);
+            return h % 100 < pct;
+        }
+        }
+        return false;
+    }
+};
+
+struct Injector
+{
+    std::mutex mutex;
+    std::vector<Term> terms;
+    std::string schedule;            //!< currently armed spec string
+    std::atomic<std::uint64_t> fired{0};
+};
+
+Injector &
+injector()
+{
+    static Injector inj;
+    return inj;
+}
+
+std::uint64_t
+parseUint(const std::string &text, const char *what)
+{
+    std::size_t used = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (used == 0 || used != text.size()) {
+        throw std::invalid_argument(
+            cvliw::detail::concat("fault schedule: bad ", what, " '", text,
+                           "'"));
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+/** Parse one `point@trigger:action` term. */
+Term
+parseTerm(const std::string &text)
+{
+    Term term;
+    const std::size_t at = text.find('@');
+    if (at == std::string::npos || at == 0) {
+        throw std::invalid_argument(cvliw::detail::concat(
+            "fault schedule: term '", text, "' has no point@trigger"));
+    }
+    term.point = text.substr(0, at);
+
+    const std::size_t colon = text.find(':', at + 1);
+    if (colon == std::string::npos) {
+        throw std::invalid_argument(cvliw::detail::concat(
+            "fault schedule: term '", text, "' has no :action"));
+    }
+
+    std::string trig = text.substr(at + 1, colon - at - 1);
+    if (trig.empty()) {
+        throw std::invalid_argument(cvliw::detail::concat(
+            "fault schedule: term '", text, "' has an empty trigger"));
+    }
+    if (trig.front() == '~') {
+        const std::size_t slash = trig.find('/');
+        if (slash == std::string::npos) {
+            throw std::invalid_argument(cvliw::detail::concat(
+                "fault schedule: seeded trigger '", trig,
+                "' wants ~SEED/PCT"));
+        }
+        term.trigger = Term::Trigger::Seeded;
+        term.seed = parseUint(trig.substr(1, slash - 1), "seed");
+        term.pct = parseUint(trig.substr(slash + 1), "percentage");
+        if (term.pct > 100) {
+            throw std::invalid_argument(cvliw::detail::concat(
+                "fault schedule: percentage ", term.pct, " > 100"));
+        }
+    } else if (trig.back() == '+') {
+        term.trigger = Term::Trigger::NthOn;
+        term.n = parseUint(trig.substr(0, trig.size() - 1),
+                           "hit number");
+    } else {
+        term.trigger = Term::Trigger::NthOnce;
+        term.n = parseUint(trig, "hit number");
+    }
+    if (term.trigger != Term::Trigger::Seeded && term.n == 0) {
+        throw std::invalid_argument(
+            "fault schedule: hit numbers are 1-based");
+    }
+
+    std::string action = text.substr(colon + 1);
+    if (action == "throw") {
+        term.action = Term::Action::Throw;
+        term.message =
+            cvliw::detail::concat("injected fault at ", term.point);
+    } else if (action.rfind("throw=", 0) == 0) {
+        term.action = Term::Action::Throw;
+        term.message = action.substr(6);
+        if (term.message.empty())
+            term.message =
+                cvliw::detail::concat("injected fault at ", term.point);
+    } else if (action.rfind("delay=", 0) == 0) {
+        term.action = Term::Action::Delay;
+        const std::string ms = action.substr(6);
+        std::size_t used = 0;
+        try {
+            term.delayMs = std::stod(ms, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used == 0 || used != ms.size() || term.delayMs < 0) {
+            throw std::invalid_argument(cvliw::detail::concat(
+                "fault schedule: bad delay '", ms, "'"));
+        }
+    } else {
+        throw std::invalid_argument(cvliw::detail::concat(
+            "fault schedule: unknown action '", action, "'"));
+    }
+    return term;
+}
+
+std::vector<Term>
+parseSchedule(const std::string &schedule)
+{
+    std::vector<Term> terms;
+    std::size_t pos = 0;
+    while (pos <= schedule.size()) {
+        std::size_t end = schedule.find(';', pos);
+        if (end == std::string::npos)
+            end = schedule.size();
+        const std::string piece = schedule.substr(pos, end - pos);
+        if (!piece.empty())
+            terms.push_back(parseTerm(piece));
+        pos = end + 1;
+    }
+    return terms;
+}
+
+/**
+ * Arm CVLIW_FAULTS once at static-initialization time so every binary
+ * honours the env schedule without per-binary code. Stored so
+ * envSchedule() can report it and Suspend can restore around it.
+ */
+const std::string &
+envScheduleStorage()
+{
+    static const std::string env = [] {
+        const char *raw = std::getenv("CVLIW_FAULTS");
+        return std::string(raw ? raw : "");
+    }();
+    return env;
+}
+
+const bool envArmed = [] {
+    const std::string &env = envScheduleStorage();
+    if (env.empty())
+        return false;
+    try {
+        arm(env);
+    } catch (const std::invalid_argument &err) {
+        // An operator typo must not crash the server: injection just
+        // stays off, loudly.
+        cv_warn("ignoring CVLIW_FAULTS: ", err.what());
+        return false;
+    }
+    return true;
+}();
+
+} // namespace
+
+void
+arm(const std::string &schedule)
+{
+    std::vector<Term> terms = parseSchedule(schedule);
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.terms = std::move(terms);
+    inj.schedule = schedule;
+    inj.fired.store(0, std::memory_order_relaxed);
+    detail::armedFlag.store(!inj.terms.empty(),
+                            std::memory_order_relaxed);
+}
+
+void
+disarm()
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    inj.terms.clear();
+    inj.schedule.clear();
+    inj.fired.store(0, std::memory_order_relaxed);
+    detail::armedFlag.store(false, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return detail::armedFlag.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+firedCount()
+{
+    return injector().fired.load(std::memory_order_relaxed);
+}
+
+const std::string &
+envSchedule()
+{
+    return envScheduleStorage();
+}
+
+Suspend::Suspend()
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mutex);
+    saved_ = inj.schedule;
+    wasArmed_ = !inj.terms.empty();
+    inj.terms.clear();
+    detail::armedFlag.store(false, std::memory_order_relaxed);
+}
+
+Suspend::~Suspend()
+{
+    if (wasArmed_) {
+        // The saved schedule parsed once already; re-arming cannot
+        // throw.
+        arm(saved_);
+    }
+}
+
+namespace detail
+{
+
+void
+hitSlow(const char *name)
+{
+    Injector &inj = injector();
+    double delay_ms = 0.0;
+    bool do_throw = false;
+    std::string message;
+    {
+        std::lock_guard<std::mutex> lock(inj.mutex);
+        for (Term &term : inj.terms) {
+            if (term.point != name)
+                continue;
+            const std::uint64_t hit = ++term.hits;
+            if (!term.firesOn(hit))
+                continue;
+            inj.fired.fetch_add(1, std::memory_order_relaxed);
+            if (term.action == Term::Action::Delay) {
+                delay_ms += term.delayMs;
+            } else if (!do_throw) {
+                do_throw = true;
+                message = cvliw::detail::concat(term.message, " (hit ", hit,
+                                         ")");
+            }
+        }
+    }
+    // Actions run outside the lock: a delay must not serialize every
+    // other armed point behind this thread's sleep.
+    if (delay_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (do_throw)
+        throw FaultInjected(message);
+}
+
+} // namespace detail
+
+} // namespace faults
+} // namespace cvliw

@@ -741,8 +741,11 @@ loadOrBuildSuite(std::uint64_t seed)
                       "; regenerating");
         } catch (const std::exception &err) {
             // SuiteIoError, or anything the parallel load surfaced
-            // (e.g. bad_alloc): generation is always the safe answer.
-            cv_warn("ignoring suite cache: ", err.what());
+            // (e.g. bad_alloc): generation is always the safe answer,
+            // but disk-tier rot must not look like a mysterious slow
+            // start - name the file and the reason.
+            cv_warn("ignoring suite cache '", path,
+                    "': ", err.what(), "; regenerating suite");
         }
     }
     return buildSuite(seed);

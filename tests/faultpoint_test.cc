@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Fault-injection harness tests (support/faultpoint.hh): schedule
+ * parsing, trigger semantics (Nth-once, Nth-on, seeded Bernoulli),
+ * throw/delay actions, arm/disarm/Suspend lifecycle, and the
+ * determinism contract (disarmed points are no-ops; a seeded schedule
+ * replays its fire pattern bit-exact).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "support/faultpoint.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+/** Arm for one test, disarm on the way out whatever happens. */
+struct ArmGuard
+{
+    explicit ArmGuard(const std::string &schedule)
+    {
+        faults::arm(schedule);
+    }
+    ~ArmGuard() { faults::disarm(); }
+};
+
+TEST(FaultPoint, DisarmedPointIsANoOp)
+{
+    faults::disarm();
+    EXPECT_FALSE(faults::armed());
+    for (int i = 0; i < 1000; ++i)
+        faults::point("anything.at.all");
+    EXPECT_EQ(faults::firedCount(), 0u);
+}
+
+TEST(FaultPoint, MalformedSchedulesThrowInvalidArgument)
+{
+    faults::disarm(); // a failed arm() keeps the previous schedule
+    const char *bad[] = {
+        "noseparator",        // no @
+        "@1:throw",           // empty point name
+        "p@:throw",           // empty trigger
+        "p@1",                // no action
+        "p@0:throw",          // hit numbers are 1-based
+        "p@x:throw",          // non-numeric trigger
+        "p@1x:throw",         // trailing junk in trigger
+        "p@1:explode",        // unknown action
+        "p@1:delay=abc",      // non-numeric delay
+        "p@1:delay=-2",       // negative delay
+        "p@~7:throw",         // seeded without /PCT
+        "p@~7/101:throw",     // percentage > 100
+    };
+    for (const char *spec : bad) {
+        EXPECT_THROW(faults::arm(spec), std::invalid_argument)
+            << "spec '" << spec << "' should not parse";
+        EXPECT_FALSE(faults::armed());
+    }
+}
+
+TEST(FaultPoint, NthOnceFiresExactlyOnce)
+{
+    ArmGuard guard("t.point@3:throw=boom");
+    faults::point("t.point"); // hit 1
+    faults::point("t.point"); // hit 2
+    try {
+        faults::point("t.point"); // hit 3: fires
+        FAIL() << "hit 3 should have thrown";
+    } catch (const FaultInjected &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("boom"), std::string::npos) << what;
+        EXPECT_NE(what.find("hit 3"), std::string::npos) << what;
+    }
+    for (int i = 0; i < 10; ++i)
+        faults::point("t.point"); // hits 4..13: never again
+    EXPECT_EQ(faults::firedCount(), 1u);
+}
+
+TEST(FaultPoint, NthOnFiresFromNOnwards)
+{
+    ArmGuard guard("t.point@2+:throw");
+    faults::point("t.point"); // hit 1: clean
+    for (int i = 0; i < 5; ++i)
+        EXPECT_THROW(faults::point("t.point"), FaultInjected);
+    EXPECT_EQ(faults::firedCount(), 5u);
+}
+
+TEST(FaultPoint, DefaultThrowMessageNamesThePoint)
+{
+    ArmGuard guard("pipe.stage@1:throw");
+    try {
+        faults::point("pipe.stage");
+        FAIL() << "should have thrown";
+    } catch (const FaultInjected &err) {
+        EXPECT_NE(std::string(err.what()).find("pipe.stage"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(FaultPoint, UnmatchedPointNamesNeverFire)
+{
+    ArmGuard guard("t.armed@1+:throw");
+    for (int i = 0; i < 100; ++i)
+        faults::point("t.other");
+    EXPECT_EQ(faults::firedCount(), 0u);
+}
+
+TEST(FaultPoint, TermsComposeIndependently)
+{
+    ArmGuard guard("a@1:throw=from-a;b@2:throw=from-b");
+    EXPECT_THROW(faults::point("a"), FaultInjected);
+    faults::point("b"); // b hit 1: clean; a's counter unaffected
+    try {
+        faults::point("b"); // b hit 2
+        FAIL() << "should have thrown";
+    } catch (const FaultInjected &err) {
+        EXPECT_NE(std::string(err.what()).find("from-b"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(faults::firedCount(), 2u);
+}
+
+TEST(FaultPoint, SeededTriggerReplaysBitExact)
+{
+    const std::string spec = "t.seeded@~1234/40:delay=0";
+    const auto pattern = [&] {
+        std::vector<bool> fires;
+        ArmGuard guard(spec);
+        std::uint64_t before = 0;
+        for (int i = 0; i < 200; ++i) {
+            faults::point("t.seeded");
+            const std::uint64_t after = faults::firedCount();
+            fires.push_back(after != before);
+            before = after;
+        }
+        return fires;
+    };
+    const std::vector<bool> first = pattern();
+    const std::vector<bool> second = pattern();
+    EXPECT_EQ(first, second) << "seeded schedule must replay exactly";
+
+    // ~40% with a very wide tolerance: this pins "neither never nor
+    // always", not the distribution.
+    const auto fired = static_cast<std::size_t>(
+        std::count(first.begin(), first.end(), true));
+    EXPECT_GT(fired, 20u);
+    EXPECT_LT(fired, 160u);
+
+    // A different seed must give a different pattern (with 200 draws
+    // at 40%, collision probability is ~2^-200).
+    std::vector<bool> reseeded;
+    {
+        ArmGuard guard("t.seeded@~99/40:delay=0");
+        std::uint64_t before = 0;
+        for (int i = 0; i < 200; ++i) {
+            faults::point("t.seeded");
+            const std::uint64_t after = faults::firedCount();
+            reseeded.push_back(after != before);
+            before = after;
+        }
+    }
+    EXPECT_NE(first, reseeded);
+}
+
+TEST(FaultPoint, DelayActionSleepsAndChangesNothing)
+{
+    ArmGuard guard("t.slow@1:delay=5");
+    const auto t0 = std::chrono::steady_clock::now();
+    faults::point("t.slow"); // no throw
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::milliseconds(5));
+    EXPECT_EQ(faults::firedCount(), 1u);
+}
+
+TEST(FaultPoint, ArmReplacesTheScheduleAndResetsCounters)
+{
+    ArmGuard guard("t.p@1:throw");
+    EXPECT_THROW(faults::point("t.p"), FaultInjected);
+    EXPECT_EQ(faults::firedCount(), 1u);
+    faults::arm("t.p@1:throw"); // fresh counters: fires again
+    EXPECT_THROW(faults::point("t.p"), FaultInjected);
+    EXPECT_EQ(faults::firedCount(), 1u);
+    faults::arm(""); // empty schedule disarms
+    EXPECT_FALSE(faults::armed());
+    faults::point("t.p");
+}
+
+TEST(FaultPoint, SuspendDisarmsAndRestores)
+{
+    ArmGuard guard("t.p@1+:throw");
+    EXPECT_TRUE(faults::armed());
+    {
+        faults::Suspend suspend;
+        EXPECT_FALSE(faults::armed());
+        for (int i = 0; i < 10; ++i)
+            faults::point("t.p"); // safe inside the window
+    }
+    EXPECT_TRUE(faults::armed());
+    EXPECT_THROW(faults::point("t.p"), FaultInjected);
+}
+
+TEST(FaultPoint, SuspendOnDisarmedIsANoOp)
+{
+    faults::disarm();
+    {
+        faults::Suspend suspend;
+        EXPECT_FALSE(faults::armed());
+    }
+    EXPECT_FALSE(faults::armed());
+}
+
+} // namespace
+} // namespace cvliw

@@ -19,6 +19,7 @@
 #include "eval/digest.hh"
 #include "eval/frontier.hh"
 #include "eval/service.hh"
+#include "support/faultpoint.hh"
 #include "workloads/suite_io.hh"
 
 namespace cvliw
@@ -362,6 +363,557 @@ TEST(Frontier, MultiThreadedSubmitFuzzMatchesOracle)
     for (auto &t : clients)
         t.join();
     EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Fault tolerance -------------------------------------------------
+//
+// Everything below uses the deterministic fault-injection harness
+// (support/faultpoint.hh): with one worker the claim order is the
+// submission order, so `point@N` targets one specific job exactly.
+
+/** Arm for one test, disarm on the way out whatever happens. */
+struct ArmGuard
+{
+    explicit ArmGuard(const std::string &schedule)
+    {
+        faults::arm(schedule);
+    }
+    ~ArmGuard() { faults::disarm(); }
+};
+
+/** Oracle digest of compile(loop, mach) with injection off. */
+std::uint64_t
+oracleDigest(const Loop &loop, const MachineConfig &m)
+{
+    faults::Suspend suspend;
+    ResultDigest d;
+    mixCompileResult(d, compile(loop.ddg, m));
+    return d.h;
+}
+
+TEST(FrontierFaults, FailedJobIsIsolatedFromBatchAndTenants)
+{
+    // The acceptance scenario: one injected throw fails exactly one
+    // job; every other job of that batch AND a whole concurrent
+    // batch complete Ok with bit-exact oracle results.
+    const auto &sample = sampleLoops();
+    const auto mA = MachineConfig::fromString("4c2b2l64r");
+    const auto mB = MachineConfig::fromString("2c1b2l64r");
+    std::vector<Loop> loopsA(sample.begin(), sample.begin() + 6);
+    std::vector<Loop> loopsB(sample.begin() + 6, sample.begin() + 10);
+
+    // Oracles first, before any schedule is armed.
+    std::vector<std::uint64_t> oracleA, oracleB;
+    for (const Loop &loop : loopsA)
+        oracleA.push_back(oracleDigest(loop, mA));
+    for (const Loop &loop : loopsB)
+        oracleB.push_back(oracleDigest(loop, mB));
+
+    // One worker claims A0 (hit 1), A1 (hit 2), A2 (hit 3: throws),
+    // A3..A5, then all of B.
+    ArmGuard guard("pipeline.start@3:throw=injected boom");
+    Frontier frontier(1);
+    auto a = frontier.submit(jobsFor(loopsA, mA));
+    auto b = frontier.submit(jobsFor(loopsB, mB));
+    a.wait();
+    b.wait();
+
+    EXPECT_EQ(a.outcome(2), JobOutcome::Failed);
+    EXPECT_NE(a.errorOf(2).find("injected boom"), std::string::npos)
+        << a.errorOf(2);
+    EXPECT_FALSE(a.ran(2));
+    EXPECT_FALSE(a.results()[2].ok);
+    for (std::size_t i = 0; i < loopsA.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_EQ(a.outcome(i), JobOutcome::Ok) << "job " << i;
+        EXPECT_TRUE(a.errorOf(i).empty()) << "job " << i;
+        ResultDigest d;
+        mixCompileResult(d, a.results()[i]);
+        EXPECT_EQ(d.h, oracleA[i]) << "job " << i;
+    }
+    for (std::size_t i = 0; i < loopsB.size(); ++i) {
+        EXPECT_EQ(b.outcome(i), JobOutcome::Ok) << "job " << i;
+        ResultDigest d;
+        mixCompileResult(d, b.results()[i]);
+        EXPECT_EQ(d.h, oracleB[i]) << "job " << i;
+    }
+
+    const Frontier::BatchStatus s = a.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_EQ(s.compiled, loopsA.size() - 1);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.compiled + s.failed, s.total);
+
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.jobsFailed, 1u);
+    EXPECT_EQ(stats.jobsOk, loopsA.size() + loopsB.size() - 1);
+    EXPECT_EQ(stats.pendingJobs, 0u);
+}
+
+TEST(FrontierFaults, StepBudgetTimesOutPerJob)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 6);
+
+    std::vector<std::uint64_t> oracle;
+    for (const Loop &loop : loops)
+        oracle.push_back(oracleDigest(loop, m));
+
+    // A negative budget expires at the first checkpoint: the job
+    // times out deterministically, before any partial work lands.
+    PipelineOptions instant_timeout;
+    instant_timeout.stepBudget = -1;
+
+    // Mixed batch: job 3 carries the poisoned options, the rest run
+    // with defaults - per-job deadlines never leak across slots.
+    std::vector<Frontier::Job> jobs = jobsFor(loops, m);
+    jobs[3].opts = &instant_timeout;
+
+    Frontier frontier(2);
+    auto handle = frontier.submit(std::move(jobs));
+    handle.wait();
+
+    EXPECT_EQ(handle.outcome(3), JobOutcome::TimedOut);
+    EXPECT_NE(handle.errorOf(3).find("step budget"), std::string::npos)
+        << handle.errorOf(3);
+    EXPECT_FALSE(handle.ran(3));
+    EXPECT_FALSE(handle.results()[3].ok);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_EQ(handle.outcome(i), JobOutcome::Ok) << "job " << i;
+        ResultDigest d;
+        mixCompileResult(d, handle.results()[i]);
+        EXPECT_EQ(d.h, oracle[i]) << "job " << i;
+    }
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_EQ(s.timedOut, 1u);
+    EXPECT_EQ(s.compiled, loops.size() - 1);
+    EXPECT_EQ(frontier.stats().jobsTimedOut, 1u);
+
+    // A generous budget changes nothing: same bits as no budget.
+    PipelineOptions generous;
+    generous.stepBudget = 1 << 20;
+    std::vector<Frontier::Job> again = jobsFor(loops, m);
+    for (auto &job : again)
+        job.opts = &generous;
+    auto verify = frontier.submit(std::move(again));
+    verify.wait();
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        ASSERT_EQ(verify.outcome(i), JobOutcome::Ok) << "job " << i;
+        ResultDigest d;
+        mixCompileResult(d, verify.results()[i]);
+        EXPECT_EQ(d.h, oracle[i]) << "job " << i;
+    }
+}
+
+TEST(FrontierFaults, SoftDeadlineTimesOut)
+{
+    // Wall-clock deadlines are best-effort and timing-dependent; the
+    // only deterministic setting is "already expired", which must
+    // fail at the first checkpoint.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 2);
+
+    PipelineOptions expired;
+    expired.softDeadlineMs = -1.0;
+    std::vector<Frontier::Job> jobs = jobsFor(loops, m);
+    for (auto &job : jobs)
+        job.opts = &expired;
+
+    Frontier frontier(1);
+    auto handle = frontier.submit(std::move(jobs));
+    handle.wait();
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        EXPECT_EQ(handle.outcome(i), JobOutcome::TimedOut)
+            << "job " << i;
+        EXPECT_NE(handle.errorOf(i).find("soft deadline"),
+                  std::string::npos)
+            << handle.errorOf(i);
+    }
+    EXPECT_EQ(handle.status().timedOut, loops.size());
+}
+
+TEST(FrontierFaults, RejectPolicyRefusesOversizedBatch)
+{
+    // Under Reject, a batch that cannot ever fit (larger than the
+    // whole cap) is refused outright - deterministically, with no
+    // timing window at all.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 3);
+
+    FrontierLimits limits;
+    limits.maxPendingJobs = 2;
+    limits.policy = AdmissionPolicy::Reject;
+    Frontier frontier(1, limits);
+    EXPECT_EQ(frontier.limits().maxPendingJobs, 2u);
+
+    auto handle = frontier.submit(jobsFor(loops, m));
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done); // born complete, never queued
+    EXPECT_EQ(s.rejected, loops.size());
+    EXPECT_EQ(s.compiled, 0u);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        EXPECT_EQ(handle.outcome(i), JobOutcome::Rejected);
+        EXPECT_NE(handle.errorOf(i).find("admission control"),
+                  std::string::npos)
+            << handle.errorOf(i);
+        EXPECT_FALSE(handle.ran(i));
+        EXPECT_FALSE(handle.results()[i].ok);
+    }
+    EXPECT_EQ(handle.cancel(), 0u); // nothing queued to drop
+
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.batchesRejected, 1u);
+    EXPECT_EQ(stats.jobsRejected, loops.size());
+    EXPECT_EQ(stats.jobsSubmitted, 0u); // rejected jobs never admitted
+
+    // The frontier still serves batches that fit.
+    std::vector<Loop> two(sample.begin(), sample.begin() + 2);
+    auto ok = frontier.submit(jobsFor(two, m));
+    ok.wait();
+    EXPECT_EQ(ok.status().compiled, 2u);
+}
+
+TEST(FrontierFaults, RejectPolicyFastFailsWhenQueueIsFull)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> two(sample.begin(), sample.begin() + 2);
+    std::vector<Loop> one(sample.begin() + 2, sample.begin() + 3);
+
+    FrontierLimits limits;
+    limits.maxPendingJobs = 2;
+    limits.policy = AdmissionPolicy::Reject;
+
+    // Hold the lone worker at its first claim for 300ms: the first
+    // batch's two jobs stay pending long past the (microseconds
+    // later) second submit, so the rejection is deterministic.
+    ArmGuard guard("frontier.claim@1:delay=300");
+    Frontier frontier(1, limits);
+    auto admitted = frontier.submit(jobsFor(two, m));
+    auto refused = frontier.submit(jobsFor(one, m));
+
+    EXPECT_TRUE(refused.status().done);
+    EXPECT_EQ(refused.outcome(0), JobOutcome::Rejected);
+    EXPECT_NE(refused.errorOf(0).find("queue full"), std::string::npos)
+        << refused.errorOf(0);
+
+    admitted.wait();
+    EXPECT_EQ(admitted.status().compiled, 2u);
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.batchesRejected, 1u);
+    EXPECT_EQ(stats.jobsOk, 2u);
+    EXPECT_EQ(stats.pendingJobs, 0u);
+
+    // With room freed, the same jobs are admitted.
+    auto retry = frontier.submit(jobsFor(one, m));
+    retry.wait();
+    EXPECT_EQ(retry.outcome(0), JobOutcome::Ok);
+}
+
+TEST(FrontierFaults, BlockPolicyParksSubmitterUntilRoom)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> first(sample.begin(), sample.begin() + 2);
+    std::vector<Loop> second(sample.begin() + 2, sample.begin() + 4);
+
+    FrontierLimits limits;
+    limits.maxPendingJobs = 2;
+    limits.policy = AdmissionPolicy::Block;
+    Frontier frontier(1, limits);
+
+    auto a = frontier.submit(jobsFor(first, m));
+    // cap == pending: this submit must block until the first batch
+    // fully drains (room for 2 means pendingJobs == 0, which the
+    // frontier only reaches once every job of `a` is terminal).
+    auto b = frontier.submit(jobsFor(second, m));
+    EXPECT_TRUE(a.status().done)
+        << "blocked submit returned before the queue drained";
+
+    b.wait();
+    EXPECT_EQ(b.status().compiled, second.size());
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.batchesSubmitted, 2u);
+    EXPECT_EQ(stats.batchesRejected, 0u);
+    EXPECT_EQ(stats.jobsOk, first.size() + second.size());
+}
+
+TEST(FrontierFaults, BlockPolicyAdmitsOversizedBatchWhenIdle)
+{
+    // A batch larger than the cap can never fit; under Block it is
+    // admitted alone once the frontier is idle instead of
+    // deadlocking the submitter forever.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> one(sample.begin(), sample.begin() + 1);
+    std::vector<Loop> big(sample.begin() + 1, sample.begin() + 4);
+
+    FrontierLimits limits;
+    limits.maxPendingJobs = 1;
+    limits.policy = AdmissionPolicy::Block;
+    Frontier frontier(1, limits);
+
+    auto small = frontier.submit(jobsFor(one, m));
+    auto oversized = frontier.submit(jobsFor(big, m)); // parks, then admits
+    EXPECT_TRUE(small.status().done);
+    oversized.wait();
+    EXPECT_EQ(oversized.status().compiled, big.size());
+    EXPECT_EQ(frontier.stats().jobsOk, one.size() + big.size());
+}
+
+TEST(FrontierFaults, DestructorDrainsFailingJobs)
+{
+    // The drain-on-destruction contract holds when every remaining
+    // job throws: the workers absorb each failure, the batch lands
+    // with structured outcomes, and the handle stays safe after the
+    // frontier is gone.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 6);
+
+    ArmGuard guard("pipeline.start@1+:throw=tenant is down");
+    Frontier::BatchHandle handle;
+    {
+        Frontier frontier(2);
+        handle = frontier.submit(jobsFor(loops, m));
+    }
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_EQ(s.failed, loops.size());
+    EXPECT_EQ(s.compiled, 0u);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        EXPECT_EQ(handle.outcome(i), JobOutcome::Failed) << "job " << i;
+        EXPECT_NE(handle.errorOf(i).find("tenant is down"),
+                  std::string::npos)
+            << "job " << i;
+        EXPECT_FALSE(handle.results()[i].ok);
+    }
+    EXPECT_EQ(handle.cancel(), 0u); // safe after the frontier died
+}
+
+TEST(FrontierFaults, HandleOutlivesFrontierWithMixedOutcomes)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("2c1b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 8);
+
+    std::vector<std::uint64_t> oracle;
+    for (const Loop &loop : loops)
+        oracle.push_back(oracleDigest(loop, m));
+
+    PipelineOptions instant_timeout;
+    instant_timeout.stepBudget = -1;
+    std::vector<Frontier::Job> jobs = jobsFor(loops, m);
+    for (std::size_t i = 1; i < jobs.size(); i += 2)
+        jobs[i].opts = &instant_timeout;
+
+    Frontier::BatchHandle handle;
+    {
+        Frontier frontier(3);
+        handle = frontier.submit(std::move(jobs));
+    }
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        if (i % 2 == 1) {
+            EXPECT_EQ(handle.outcome(i), JobOutcome::TimedOut)
+                << "job " << i;
+            EXPECT_FALSE(handle.errorOf(i).empty()) << "job " << i;
+        } else {
+            EXPECT_EQ(handle.outcome(i), JobOutcome::Ok) << "job " << i;
+            ResultDigest d;
+            mixCompileResult(d, handle.results()[i]);
+            EXPECT_EQ(d.h, oracle[i]) << "job " << i;
+        }
+    }
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_EQ(s.compiled, loops.size() / 2);
+    EXPECT_EQ(s.timedOut, loops.size() / 2);
+}
+
+TEST(FrontierFaults, CancelAfterFailureIsIdempotentNoOp)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 3);
+
+    ArmGuard guard("pipeline.start@2:throw=mid boom");
+    Frontier frontier(1);
+    auto handle = frontier.submit(jobsFor(loops, m));
+    handle.wait();
+    EXPECT_EQ(handle.outcome(0), JobOutcome::Ok);
+    EXPECT_EQ(handle.outcome(1), JobOutcome::Failed);
+    EXPECT_EQ(handle.outcome(2), JobOutcome::Ok);
+
+    // cancel() on a finished batch with failures: still a no-op,
+    // outcomes and counters untouched.
+    EXPECT_EQ(handle.cancel(), 0u);
+    EXPECT_EQ(handle.cancel(), 0u);
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_FALSE(s.cancelled);
+    EXPECT_EQ(s.compiled, 2u);
+    EXPECT_EQ(s.failed, 1u);
+    EXPECT_EQ(s.dropped, 0u);
+    EXPECT_EQ(handle.outcome(1), JobOutcome::Failed);
+}
+
+TEST(FrontierFaults, DestructionAfterCancelWithFailuresInFlight)
+{
+    // The nastiest interleaving: jobs failing, a cancel mid-batch,
+    // then the frontier destroyed - every job must still reach a
+    // terminal outcome and the accounting must close exactly.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 12);
+
+    // Each claim is slowed by 20ms so the cancel below lands while
+    // jobs are deterministically still unclaimed (12 x 20ms of queue
+    // versus a cancel issued right after the second failure).
+    ArmGuard guard(
+        "frontier.claim@1+:delay=20;pipeline.start@1+:throw=down");
+    Frontier::BatchHandle handle;
+    {
+        Frontier frontier(1);
+        handle = frontier.submit(jobsFor(loops, m));
+        while (handle.status().failed < 2)
+            std::this_thread::yield();
+        handle.cancel();
+    }
+    const Frontier::BatchStatus s = handle.status();
+    EXPECT_TRUE(s.done);
+    EXPECT_TRUE(s.cancelled);
+    EXPECT_GE(s.failed, 2u);
+    EXPECT_EQ(s.compiled, 0u);
+    EXPECT_EQ(s.failed + s.dropped, s.total);
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        const JobOutcome outcome = handle.outcome(i);
+        ASSERT_TRUE(outcome == JobOutcome::Failed ||
+                    outcome == JobOutcome::Cancelled)
+            << "job " << i << ": " << toString(outcome);
+        if (outcome == JobOutcome::Failed)
+            EXPECT_FALSE(handle.errorOf(i).empty()) << "job " << i;
+        EXPECT_FALSE(handle.ran(i)) << "job " << i;
+    }
+}
+
+TEST(FrontierFaults, StatsSnapshotClosesTheBooks)
+{
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    std::vector<Loop> six(sample.begin(), sample.begin() + 6);
+    std::vector<Loop> four(sample.begin() + 6, sample.begin() + 10);
+
+    Frontier frontier(1);
+    // A finished batch, an empty batch, and a cancelled-before-start
+    // batch (the shield pins the lone worker, as in
+    // CancelBeforeStartDropsEveryJob).
+    auto shield = frontier.submit(jobsFor(six, m), /*priority=*/5);
+    auto victim = frontier.submit(jobsFor(four, m), /*priority=*/0);
+    EXPECT_EQ(victim.cancel(), four.size());
+    auto empty = frontier.submit({});
+    shield.wait();
+    victim.wait();
+
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.batchesSubmitted, 3u);
+    EXPECT_EQ(stats.batchesRejected, 0u);
+    EXPECT_EQ(stats.jobsSubmitted, six.size() + four.size());
+    EXPECT_EQ(stats.jobsOk, six.size());
+    EXPECT_EQ(stats.jobsCancelled, four.size());
+    EXPECT_EQ(stats.jobsFailed, 0u);
+    EXPECT_EQ(stats.jobsTimedOut, 0u);
+    EXPECT_EQ(stats.jobsRejected, 0u);
+    EXPECT_EQ(stats.pendingJobs, 0u);
+    // The books close: every admitted job reached exactly one
+    // terminal state.
+    EXPECT_EQ(stats.jobsSubmitted, stats.jobsOk + stats.jobsFailed +
+                                       stats.jobsTimedOut +
+                                       stats.jobsCancelled +
+                                       stats.pendingJobs);
+}
+
+TEST(FrontierEnvFaults, ScheduleInvariantsHold)
+{
+    // CI sweep entry point: run with CVLIW_FAULTS set to any seeded
+    // schedule (throwing ones included) and the serving invariants
+    // must hold - Ok jobs are bit-exact, non-Ok jobs carry an error,
+    // nothing hangs, and the frontier serves cleanly afterwards.
+    const std::string schedule = faults::envSchedule();
+    if (schedule.empty())
+        GTEST_SKIP() << "set CVLIW_FAULTS to exercise this test";
+
+    const auto &sample = sampleLoops();
+    const std::vector<MachineConfig> machs = {
+        MachineConfig::fromString("2c1b2l64r"),
+        MachineConfig::fromString("4c2b2l64r"),
+    };
+    std::vector<Loop> loops(sample.begin(), sample.begin() + 24);
+
+    // Oracles with injection off (earlier tests may have disarmed the
+    // env schedule; (re)arm it only after these).
+    faults::disarm();
+    std::vector<std::vector<std::uint64_t>> oracle(machs.size());
+    for (std::size_t c = 0; c < machs.size(); ++c) {
+        for (const Loop &loop : loops)
+            oracle[c].push_back(oracleDigest(loop, machs[c]));
+    }
+
+    faults::arm(schedule);
+    Frontier frontier(0); // hardware concurrency: stress the pool
+    std::vector<Frontier::BatchHandle> handles;
+    for (int round = 0; round < 2; ++round) {
+        for (std::size_t c = 0; c < machs.size(); ++c) {
+            handles.push_back(
+                frontier.submit(jobsFor(loops, machs[c]),
+                                /*priority=*/round));
+        }
+    }
+    std::size_t not_ok = 0;
+    for (std::size_t h = 0; h < handles.size(); ++h) {
+        auto &handle = handles[h];
+        handle.wait();
+        const std::size_t c = h % machs.size();
+        for (std::size_t i = 0; i < loops.size(); ++i) {
+            const JobOutcome outcome = handle.outcome(i);
+            if (outcome == JobOutcome::Ok) {
+                EXPECT_TRUE(handle.ran(i));
+                ResultDigest d;
+                mixCompileResult(d, handle.results()[i]);
+                EXPECT_EQ(d.h, oracle[c][i])
+                    << "batch " << h << " job " << i;
+            } else {
+                ++not_ok;
+                ASSERT_TRUE(outcome == JobOutcome::Failed ||
+                            outcome == JobOutcome::TimedOut)
+                    << toString(outcome);
+                EXPECT_FALSE(handle.errorOf(i).empty());
+                EXPECT_FALSE(handle.ran(i));
+                EXPECT_FALSE(handle.results()[i].ok);
+            }
+        }
+    }
+    const FrontierStats stats = frontier.stats();
+    EXPECT_EQ(stats.pendingJobs, 0u);
+    EXPECT_EQ(stats.jobsSubmitted, stats.jobsOk + stats.jobsFailed +
+                                       stats.jobsTimedOut);
+    EXPECT_EQ(stats.jobsFailed + stats.jobsTimedOut, not_ok);
+
+    // Recovery: with injection off again the same frontier (and its
+    // quarantined-or-not caches) serves bit-exact results.
+    faults::disarm();
+    auto after = frontier.submit(jobsFor(loops, machs[0]));
+    after.wait();
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        ASSERT_EQ(after.outcome(i), JobOutcome::Ok) << "job " << i;
+        ResultDigest d;
+        mixCompileResult(d, after.results()[i]);
+        EXPECT_EQ(d.h, oracle[0][i]) << "job " << i;
+    }
 }
 
 TEST(Frontier, ServiceCompileBatchIsSubmitWait)

@@ -169,6 +169,42 @@ TEST(CompileService, EmptyBatch)
     EXPECT_TRUE(r.loops.empty());
 }
 
+TEST(CompileService, FacadeFlattensFailuresToNotOk)
+{
+    // The synchronous facade never throws for a failed or timed-out
+    // job: the slot holds a default result (ok == false), the other
+    // slots are untouched.
+    const auto &loops = sampleLoops();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    PipelineOptions instant_timeout;
+    instant_timeout.stepBudget = -1; // expires at the first checkpoint
+
+    std::vector<CompileService::Job> jobs;
+    for (std::size_t i = 0; i < 6; ++i) {
+        CompileService::Job job;
+        job.ddg = &loops[i].ddg;
+        job.mach = &m;
+        if (i == 2)
+            job.opts = &instant_timeout;
+        jobs.push_back(job);
+    }
+
+    CompileService service(2);
+    const std::vector<CompileResult> batch = service.compileBatch(jobs);
+    ASSERT_EQ(batch.size(), jobs.size());
+    EXPECT_FALSE(batch[2].ok);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_TRUE(batch[i].ok) << "job " << i;
+        ResultDigest a, b;
+        mixCompileResult(a, batch[i]);
+        mixCompileResult(b, compile(*jobs[i].ddg, m));
+        EXPECT_EQ(a.h, b.h) << "job " << i;
+    }
+}
+
 TEST(CompileService, RunSuiteDelegatesToService)
 {
     const auto &loops = sampleLoops();
