@@ -356,6 +356,49 @@ BM_SuiteLoad(benchmark::State &state)
 BENCHMARK(BM_SuiteLoad);
 
 /**
+ * Cold single-record path of the lazy v3 contract: a fresh
+ * SuiteCacheFile open (which integrity-checks only the header and
+ * index table) plus one loadLoop (which verifies just that record's
+ * digest). validated_bytes counts what the open + load actually
+ * checked; file_bytes is what an eager whole-payload digest pass (the
+ * v2 design) would have touched on every open. The gap is the point:
+ * a binary that samples one loop no longer pays for 678.
+ */
+void
+BM_SuiteLoadCold(benchmark::State &state)
+{
+    const std::string path = "/tmp/cvliw_perf_suite_cold." +
+                             std::to_string(::getpid()) + ".cvsuite";
+    saveSuite(suite(), path, 42);
+
+    std::uint32_t record = 0;
+    std::uint64_t file_bytes = 0;
+    {
+        const SuiteCacheFile probe(path);
+        record = probe.loopCount() / 2;
+        file_bytes = probe.validatedBytesOnOpen();
+        for (std::uint32_t i = 0; i < probe.loopCount(); ++i)
+            file_bytes += probe.recordBytes(i);
+    }
+
+    std::uint64_t validated = 0;
+    for (auto _ : state) {
+        SuiteCacheFile cache(path);
+        benchmark::DoNotOptimize(cache.loadLoop(record));
+        validated =
+            cache.validatedBytesOnOpen() + cache.recordBytes(record);
+    }
+    state.counters["validated_bytes"] =
+        static_cast<double>(validated);
+    state.counters["file_bytes"] = static_cast<double>(file_bytes);
+    state.counters["validated_pct"] =
+        100.0 * static_cast<double>(validated) /
+        static_cast<double>(file_bytes);
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_SuiteLoadCold);
+
+/**
  * CompileService batch throughput: the whole suite compiled for one
  * config on a persistent pool with long-lived per-worker caches.
  * Arg = worker count (0 = hardware concurrency); compare Arg(1)

@@ -85,11 +85,11 @@ printRound(const Example &ex, int ii)
             ex.ddg, ex.part, sg.com, comms.communicated);
         const Rational w = subgraphWeight(ex.ddg, ex.mach, ex.part,
                                           ii, sg, pool, removable);
-        std::cout << "  S_" << ex.ddg.node(sg.com).label << " = {";
+        std::cout << "  S_" << ex.ddg.label(sg.com) << " = {";
         bool first = true;
         for (const auto &[n, clusters] : sg.required) {
             std::cout << (first ? "" : ", ")
-                      << ex.ddg.node(n).label << "->{";
+                      << ex.ddg.label(n) << "->{";
             for (std::size_t i = 0; i < clusters.size(); ++i)
                 std::cout << (i ? "," : "") << clusters[i];
             std::cout << "}";
@@ -98,7 +98,7 @@ printRound(const Example &ex, int ii)
         std::cout << "}  removable {";
         for (std::size_t i = 0; i < removable.size(); ++i) {
             std::cout << (i ? "," : "")
-                      << ex.ddg.node(removable[i]).label;
+                      << ex.ddg.label(removable[i]);
         }
         std::cout << "}  weight " << w.toString() << "\n";
     }

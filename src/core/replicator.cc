@@ -108,10 +108,10 @@ applySubgraph(Ddg &ddg, Partition &part, ReplicaIndex &index,
                     ddg.addEdge(p, r, EdgeKind::RegFlow, e.distance);
                     touch(p);
                 } else {
-                    cv_panic("operand ", ddg.node(p).label,
+                    cv_panic("operand ", ddg.label(p),
                              " unavailable in cluster ", c,
                              " while replicating ",
-                             ddg.node(sg.com).label);
+                             ddg.label(sg.com));
                 }
             }
             // Replicated loads/stores inherit outgoing memory

@@ -97,10 +97,10 @@ spillOneValue(Ddg &ddg, Partition &part, const MachineConfig &mach,
             continue;
 
         // Insert store + reload and rewire the distant consumers.
-        // Copy before addNode: push_back may reallocate the node
-        // array, so a reference into it would dangle across the call
-        // (same hazard the TSan job caught in Ddg::addReplica).
-        const std::string victim_label = ddg.node(victim).label;
+        // Copy before addNode: interning may reallocate the label
+        // arena, so a label view would dangle across the call (same
+        // hazard the sanitizer jobs caught in Ddg::addReplica).
+        const std::string victim_label(ddg.label(victim));
         const NodeId victim_sem = ddg.node(victim).semanticId;
         const NodeId st =
             ddg.addNode(OpClass::Store, victim_label + ".spst");

@@ -53,15 +53,22 @@ Ddg::freshGeneration()
 }
 
 Ddg
-Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges)
+Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges,
+               std::string labels)
 {
     // Validate (the trusted path's documented preconditions), count
     // degrees, then share the layout code.
     const int node_slots = static_cast<int>(nodes.size());
+    const std::uint64_t label_bytes = labels.size();
     for (int i = 0; i < node_slots; ++i) {
         cv_assert(nodes[i].semanticId >= 0 &&
                       nodes[i].semanticId < node_slots,
                   "semantic id outside the node array");
+        // 64-bit sum: offset + len must not be able to wrap.
+        cv_assert(static_cast<std::uint64_t>(nodes[i].labelOffset) +
+                          nodes[i].labelLen <=
+                      label_bytes,
+                  "label slice outside the label arena");
     }
     std::vector<std::uint32_t> in_deg(node_slots, 0),
         out_deg(node_slots, 0);
@@ -76,25 +83,29 @@ Ddg::fromSlots(std::vector<DdgNode> nodes, std::vector<DdgEdge> edges)
             if (e.kind == EdgeKind::RegFlow) {
                 cv_assert(producesValue(nodes[e.src].cls),
                           "flow edge from non-value-producing op ",
-                          nodes[e.src].label);
+                          std::string_view(labels).substr(
+                              nodes[e.src].labelOffset,
+                              nodes[e.src].labelLen));
             }
         }
         ++out_deg[e.src];
         ++in_deg[e.dst];
     }
     return fromSlotsTrusted(std::move(nodes), std::move(edges),
-                            in_deg.data(), out_deg.data());
+                            std::move(labels), in_deg.data(),
+                            out_deg.data());
 }
 
 Ddg
 Ddg::fromSlotsTrusted(std::vector<DdgNode> nodes,
-                      std::vector<DdgEdge> edges,
+                      std::vector<DdgEdge> edges, std::string labels,
                       const std::uint32_t *in_deg,
                       const std::uint32_t *out_deg)
 {
     Ddg g;
     g.nodes_ = std::move(nodes);
     g.edges_ = std::move(edges);
+    g.labels_ = std::move(labels);
 
     const int node_slots = g.numNodeSlots();
     g.liveNodes_ = 0;
@@ -140,29 +151,68 @@ Ddg::compact()
     // Already at fromSlots density? arena_.size() == sum(count) holds
     // exactly when no span carries slack (capacity > count) and no
     // dead region was left behind by a relocation.
-    std::size_t total = 0;
+    std::size_t adj_total = 0;
     for (const detail::AdjSlot &s : slots_)
-        total += s.count;
-    if (arena_.size() == total)
+        adj_total += s.count;
+    // Same test for the label arena: slices never overlap (interning
+    // hands every node fresh bytes), so labels_.size() == the live
+    // nodes' summed labelLen exactly when no byte is dead (tombstoned
+    // node) or orphaned.
+    std::size_t label_total = 0;
+    for (const DdgNode &n : nodes_) {
+        if (n.alive)
+            label_total += n.labelLen;
+    }
+    const bool adj_dense = arena_.size() == adj_total;
+    const bool labels_dense = labels_.size() == label_total;
+    if (adj_dense && labels_dense)
         return;
 
 #ifndef NDEBUG
     // Adjacency must survive bit-for-bit: same edge ids, same order,
-    // per span. Snapshot before repacking, verify after.
+    // per span. Live labels likewise. Snapshot before repacking,
+    // verify after.
     const std::vector<EdgeId> pre_arena = arena_;
     const std::vector<detail::AdjSlot> pre_slots = slots_;
+    std::vector<std::string> pre_labels;
+    pre_labels.reserve(nodes_.size());
+    for (const DdgNode &n : nodes_)
+        pre_labels.emplace_back(n.alive ? label(n.id)
+                                        : std::string_view());
 #endif
 
-    std::vector<EdgeId> packed(total);
-    std::uint32_t off = 0;
-    for (detail::AdjSlot &s : slots_) {
-        for (std::uint32_t i = 0; i < s.count; ++i)
-            packed[off + i] = arena_[s.offset + i];
-        s.offset = off;
-        s.capacity = s.count;
-        off += s.count;
+    if (!adj_dense) {
+        std::vector<EdgeId> packed(adj_total);
+        std::uint32_t off = 0;
+        for (detail::AdjSlot &s : slots_) {
+            for (std::uint32_t i = 0; i < s.count; ++i)
+                packed[off + i] = arena_[s.offset + i];
+            s.offset = off;
+            s.capacity = s.count;
+            off += s.count;
+        }
+        arena_ = std::move(packed);
     }
-    arena_ = std::move(packed);
+
+    if (!labels_dense) {
+        // Live labels packed in node order; dead slots lose their
+        // bytes and read back empty from now on (labels are
+        // diagnostic-only, so this is the documented lossy effect).
+        std::string packed;
+        packed.reserve(label_total);
+        for (DdgNode &n : nodes_) {
+            if (!n.alive) {
+                n.labelOffset = 0;
+                n.labelLen = 0;
+                continue;
+            }
+            const std::uint32_t off =
+                static_cast<std::uint32_t>(packed.size());
+            packed.append(labels_, n.labelOffset, n.labelLen);
+            n.labelOffset = off;
+        }
+        labels_ = std::move(packed);
+    }
 
 #ifndef NDEBUG
     for (std::size_t n = 0; n < slots_.size(); ++n) {
@@ -176,41 +226,114 @@ Ddg::compact()
                       "compact changed adjacency content");
         }
     }
+    for (const DdgNode &n : nodes_) {
+        if (n.alive) {
+            cv_assert(label(n.id) == pre_labels[n.id],
+                      "compact changed a live node's label");
+        }
+    }
 #endif
     // No generation bump: the graph's structure (nodes, edges,
     // traversal order) is untouched; only the arena layout moved.
 }
 
-NodeId
-Ddg::addNode(OpClass cls, std::string label)
+std::uint32_t
+Ddg::internLabel(std::string_view s)
 {
+    cv_assert(labels_.size() + s.size() <=
+                  std::numeric_limits<std::uint32_t>::max(),
+              "label arena overflow");
+    const std::uint32_t off = static_cast<std::uint32_t>(labels_.size());
+    if (s.empty())
+        return off;
+    const char *base = labels_.data();
+    if (s.data() >= base && s.data() + s.size() <= base + labels_.size()) {
+        // The view aliases our own arena (e.g. a label(id) passed
+        // straight back in). Re-derive it through its offset and make
+        // room up front: append must not reallocate the blob while
+        // still reading the source bytes - the same held-reference-
+        // across-realloc class that bit addReplica and spillOneValue.
+        const std::size_t src =
+            static_cast<std::size_t>(s.data() - base);
+        labels_.reserve(labels_.size() + s.size());
+        labels_.append(labels_.data() + src, s.size());
+    } else {
+        labels_.append(s.data(), s.size());
+    }
+    return off;
+}
+
+NodeId
+Ddg::addNode(OpClass cls, std::string_view label)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
     DdgNode n;
-    n.id = static_cast<NodeId>(nodes_.size());
+    n.id = id;
     n.cls = cls;
-    n.label = label.empty() ? "n" + std::to_string(n.id)
-                            : std::move(label);
-    n.semanticId = n.id;
-    nodes_.push_back(std::move(n));
+    if (label.empty()) {
+        const std::string def = "n" + std::to_string(id);
+        n.labelOffset = internLabel(def);
+        n.labelLen = static_cast<std::uint32_t>(def.size());
+    } else {
+        n.labelOffset = internLabel(label);
+        n.labelLen = static_cast<std::uint32_t>(label.size());
+    }
+    n.semanticId = id;
+    nodes_.push_back(n);
     slots_.emplace_back(); // in-span
     slots_.emplace_back(); // out-span
     ++liveNodes_;
     bumpGeneration();
-    return nodes_.back().id;
+    return id;
 }
 
 NodeId
-Ddg::addReplica(NodeId original, const std::string &label_suffix)
+Ddg::addReplica(NodeId original, std::string_view label_suffix)
 {
     checkNode(original);
-    // Copy before addNode: push_back may reallocate nodes_, so a
-    // reference into it would dangle across the call.
+    // Read fields before any mutation: push_back may reallocate
+    // nodes_ and interning may reallocate labels_, so neither a node
+    // reference nor a label view survives the calls below.
     const OpClass cls = nodes_[original].cls;
     const NodeId semantic = nodes_[original].semanticId;
-    std::string label = nodes_[original].label + label_suffix;
-    const NodeId id = addNode(cls, std::move(label));
-    nodes_[id].semanticId = semantic;
-    nodes_[id].isReplica = true;
-    return id;
+    const std::uint32_t original_len = nodes_[original].labelLen;
+    const std::uint32_t suffix_len =
+        static_cast<std::uint32_t>(label_suffix.size());
+    // Synthesize "<original label><suffix>" directly in the arena:
+    // two back-to-back appends yield one contiguous slice. Both
+    // inputs may alias the arena (label(original) always does);
+    // internLabel is alias-safe against its own append, but the
+    // suffix view must additionally survive the *first* intern's
+    // realloc - capture its arena offset now and re-derive after.
+    const char *base = labels_.data();
+    const bool suffix_aliases =
+        !label_suffix.empty() && label_suffix.data() >= base &&
+        label_suffix.data() + label_suffix.size() <=
+            base + labels_.size();
+    const std::size_t suffix_src =
+        suffix_aliases
+            ? static_cast<std::size_t>(label_suffix.data() - base)
+            : 0;
+    const std::uint32_t off = internLabel(label(original));
+    if (suffix_aliases) {
+        label_suffix =
+            std::string_view(labels_.data() + suffix_src, suffix_len);
+    }
+    internLabel(label_suffix);
+
+    DdgNode n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.cls = cls;
+    n.labelOffset = off;
+    n.labelLen = original_len + suffix_len;
+    n.semanticId = semantic;
+    n.isReplica = true;
+    nodes_.push_back(n);
+    slots_.emplace_back(); // in-span
+    slots_.emplace_back(); // out-span
+    ++liveNodes_;
+    bumpGeneration();
+    return n.id;
 }
 
 EdgeId
@@ -223,7 +346,7 @@ Ddg::addEdge(NodeId src, NodeId dst, EdgeKind kind, int distance,
     if (kind == EdgeKind::RegFlow) {
         cv_assert(producesValue(node(src).cls),
                   "flow edge from non-value-producing op ",
-                  node(src).label);
+                  label(src));
     }
 
     DdgEdge e;
@@ -297,6 +420,14 @@ Ddg::edge(EdgeId id)
 {
     cv_assert(id >= 0 && id < numEdgeSlots(), "bad edge id ", id);
     return edges_[id];
+}
+
+std::string_view
+Ddg::label(NodeId id) const
+{
+    cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
+    const DdgNode &n = nodes_[id];
+    return std::string_view(labels_).substr(n.labelOffset, n.labelLen);
 }
 
 LiveAdjRange
@@ -377,7 +508,7 @@ void
 Ddg::checkNode(NodeId id) const
 {
     cv_assert(id >= 0 && id < numNodeSlots(), "bad node id ", id);
-    cv_assert(nodes_[id].alive, "dead node ", nodes_[id].label);
+    cv_assert(nodes_[id].alive, "dead node ", label(id));
 }
 
 void

@@ -22,9 +22,7 @@
  * cache line). Contiguity is the point: every compile pass iterates
  * adjacency millions of times, and one arena per graph replaces ~80
  * small allocations per loop with two, keeps neighbouring spans on
- * the same cache lines, and copies adjacency as two flat memcpys
- * (node labels still allocate per copy; interning them is a
- * ROADMAP item).
+ * the same cache lines, and copies adjacency as two flat memcpys.
  *
  * Arena invariants and relocation rules:
  *  - a span's ids are stored contiguously in insertion (edge-creation)
@@ -42,6 +40,33 @@
  *    edges but never move spans. The one exception is an explicit
  *    `compact()` call, which repacks every span to fromSlots density
  *    (and invalidates outstanding views; see its comment).
+ *
+ * ## Label arena
+ *
+ * Node labels live in one per-graph `std::string` blob; each node
+ * stores a `{labelOffset, labelLen}` pair into it, which makes
+ * `DdgNode` (and `DdgEdge`) trivially copyable PODs and a whole-graph
+ * copy a fixed handful of flat buffer copies - zero per-node
+ * allocations on the pipeline's copy-mutate-retry path. Read a label
+ * through `label(id)`, which returns a `std::string_view` borrowing
+ * arena storage.
+ *
+ * Arena rules mirror the adjacency arena's:
+ *  - label bytes are append-only; mutation APIs never rewrite or
+ *    reuse existing bytes. Tombstoning a node leaves its label bytes
+ *    in place (dead slots still print in diagnostics);
+ *  - `label()` views borrow the blob's storage and are invalidated by
+ *    any label-appending mutation (`addNode`, `addReplica`) and by
+ *    `compact()`; never hold one across those. Passing a view of this
+ *    graph's own arena back into `addNode`/`addReplica` is safe - the
+ *    interner re-derives it through offsets before appending;
+ *  - `compact()` repacks the blob to live-label density: live nodes'
+ *    bytes packed in node order, dead slots' label bytes dropped
+ *    (their labels read back empty - the one lossy effect compaction
+ *    has, and labels are diagnostic-only data);
+ *  - labels never enter result digests (eval/digest mixes numeric
+ *    compile results only), so label layout is free to change without
+ *    perturbing bit-identity of compile outcomes.
  *
  * ## Traversal views
  *
@@ -89,9 +114,12 @@
 #ifndef CVLIW_DDG_DDG_HH
 #define CVLIW_DDG_DDG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iterator>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "machine/config.hh"
@@ -119,24 +147,47 @@ enum class EdgeKind : std::uint8_t
     Spill
 };
 
-/** One dependence edge. */
+/**
+ * One dependence edge. A 24-byte trivially-copyable POD whose exact
+ * byte layout doubles as the suite cache's on-disk edge record
+ * (workloads/suite_io.cc, format v3): deserialization bulk-copies
+ * whole edge arrays off an mmap instead of parsing per edge. The
+ * static_asserts below pin the layout; changing any field means a
+ * suite format version bump.
+ */
 struct DdgEdge
 {
     EdgeId id = invalidEdge;
     NodeId src = invalidNode;
     NodeId dst = invalidNode;
-    EdgeKind kind = EdgeKind::RegFlow;
     int distance = 0;    //!< iteration distance (>= 0)
     int memLatency = 1;  //!< latency for Memory edges only
+    EdgeKind kind = EdgeKind::RegFlow;
     bool alive = true;
+    std::uint8_t pad_[2] = {0, 0}; //!< explicit zeroed tail padding
 };
 
-/** One operation. */
+static_assert(std::is_trivially_copyable_v<DdgEdge>,
+              "DdgEdge must stay a POD (bulk graph copies, suite v3)");
+static_assert(sizeof(DdgEdge) == 24 && offsetof(DdgEdge, id) == 0 &&
+                  offsetof(DdgEdge, src) == 4 &&
+                  offsetof(DdgEdge, dst) == 8 &&
+                  offsetof(DdgEdge, distance) == 12 &&
+                  offsetof(DdgEdge, memLatency) == 16 &&
+                  offsetof(DdgEdge, kind) == 20 &&
+                  offsetof(DdgEdge, alive) == 21,
+              "DdgEdge layout is the suite v3 edge record; bump the "
+              "format version if it changes");
+
+/**
+ * One operation. Like DdgEdge a 24-byte trivially-copyable POD that
+ * is also the suite v3 on-disk node record; its label lives in the
+ * owning graph's label arena as an {offset, len} slice (read through
+ * `Ddg::label(id)`), never as an owned string.
+ */
 struct DdgNode
 {
     NodeId id = invalidNode;
-    OpClass cls = OpClass::IntAlu;
-    std::string label;
     /**
      * Identity of the computation this node performs. Replicas share
      * the semanticId of the instruction they duplicate, so the
@@ -144,6 +195,10 @@ struct DdgNode
      * the original value.
      */
     NodeId semanticId = invalidNode;
+    /** Label slice into the owning Ddg's label arena. */
+    std::uint32_t labelOffset = 0;
+    std::uint32_t labelLen = 0;
+    OpClass cls = OpClass::IntAlu;
     bool isReplica = false;
     /** True for spill stores and spill reloads (identity value). */
     bool isSpill = false;
@@ -154,7 +209,22 @@ struct DdgNode
      */
     bool liveOut = false;
     bool alive = true;
+    std::uint8_t pad_[3] = {0, 0, 0}; //!< explicit zeroed tail padding
 };
+
+static_assert(std::is_trivially_copyable_v<DdgNode>,
+              "DdgNode must stay a POD (bulk graph copies, suite v3)");
+static_assert(sizeof(DdgNode) == 24 && offsetof(DdgNode, id) == 0 &&
+                  offsetof(DdgNode, semanticId) == 4 &&
+                  offsetof(DdgNode, labelOffset) == 8 &&
+                  offsetof(DdgNode, labelLen) == 12 &&
+                  offsetof(DdgNode, cls) == 16 &&
+                  offsetof(DdgNode, isReplica) == 17 &&
+                  offsetof(DdgNode, isSpill) == 18 &&
+                  offsetof(DdgNode, liveOut) == 19 &&
+                  offsetof(DdgNode, alive) == 20,
+              "DdgNode layout is the suite v3 node record; bump the "
+              "format version if it changes");
 
 namespace detail
 {
@@ -431,12 +501,15 @@ class Ddg
      * hold its incident edge ids in edge-id order - exactly the
      * state an addNode/addEdge/remove* replay would produce, so a
      * graph built this way is field-identical to its original.
-     * Panics on inconsistent input (bad endpoints, live edges on dead
-     * nodes, flow edges from non-value producers); deserializers must
-     * validate untrusted bytes *before* calling.
+     * @p labels becomes the label arena verbatim; every node's
+     * {labelOffset, labelLen} must slice it. Panics on inconsistent
+     * input (bad endpoints, label slices out of bounds, live edges on
+     * dead nodes, flow edges from non-value producers); deserializers
+     * must validate untrusted bytes *before* calling.
      */
     static Ddg fromSlots(std::vector<DdgNode> nodes,
-                         std::vector<DdgEdge> edges);
+                         std::vector<DdgEdge> edges,
+                         std::string labels);
 
     /**
      * The validated-input fast path of fromSlots: bit-identical
@@ -450,17 +523,25 @@ class Ddg
      */
     static Ddg fromSlotsTrusted(std::vector<DdgNode> nodes,
                                 std::vector<DdgEdge> edges,
+                                std::string labels,
                                 const std::uint32_t *in_deg,
                                 const std::uint32_t *out_deg);
 
-    /** Create an operation of class @p cls. */
-    NodeId addNode(OpClass cls, std::string label = "");
+    /**
+     * Create an operation of class @p cls. The label bytes are copied
+     * into the graph's label arena (an empty @p label synthesizes
+     * "n<id>"); a view into this graph's own arena is accepted (the
+     * interner is alias-safe across the append's reallocation).
+     */
+    NodeId addNode(OpClass cls, std::string_view label = {});
 
     /**
      * Create a replica of @p original (same op class and semantic
-     * identity). The caller wires up the replica's operand edges.
+     * identity); its label is the original's label + @p label_suffix,
+     * synthesized directly in the label arena. The caller wires up
+     * the replica's operand edges.
      */
-    NodeId addReplica(NodeId original, const std::string &label_suffix);
+    NodeId addReplica(NodeId original, std::string_view label_suffix);
 
     /**
      * Add a dependence edge.
@@ -501,6 +582,23 @@ class Ddg
     DdgNode &node(NodeId id);
     const DdgEdge &edge(EdgeId id) const;
     DdgEdge &edge(EdgeId id);
+
+    /**
+     * Label of node @p id as a view into the label arena (dead slots
+     * readable, like `node()`). Borrowed storage: invalidated by any
+     * label-appending mutation (`addNode`/`addReplica`) and by
+     * `compact()` - copy it out before mutating (see spill.cc for the
+     * canonical pattern).
+     */
+    std::string_view label(NodeId id) const;
+
+    /**
+     * The whole label arena blob (serialization only). Every node's
+     * {labelOffset, labelLen} slices this; feeding it back through
+     * `fromSlots` alongside copies of the slot arrays reproduces the
+     * graph's labels exactly.
+     */
+    std::string_view labelArena() const { return labels_; }
 
     /** Live incoming edges of @p id (zero-allocation view). */
     LiveAdjRange inEdges(NodeId id) const;
@@ -553,7 +651,8 @@ class Ddg
     void bumpGeneration() { generation_ = freshGeneration(); }
 
     /**
-     * Squeeze the adjacency arena back to `fromSlots` density:
+     * Squeeze the adjacency and label arenas back to `fromSlots`
+     * density. Adjacency:
      * every span packed back-to-back in node order with capacity ==
      * count, dead regions left behind by span relocations discarded.
      * A graph that grew through heavy replication carries those dead
@@ -564,14 +663,18 @@ class Ddg
      * order are preserved exactly - traversals, and therefore every
      * compile decision, are unchanged (asserted field-for-field in
      * debug builds) - and the generation stamp does not advance
-     * (structure is identical). No-op when already compact.
+     * (structure is identical). The label arena is likewise repacked
+     * to live-label density: live nodes' bytes packed in node order,
+     * dead slots' label bytes dropped (their labels read back empty;
+     * see the label arena rules). No-op when both arenas are already
+     * dense.
      *
      * **The one view-invalidating operation:** compaction moves span
-     * offsets, so every outstanding filtering view (inEdges/outEdges/
-     * flowPreds/flowSuccs) and raw span (inEdgesRaw/outEdgesRaw) of
-     * this graph is invalidated - the exception to the views'
-     * survive-every-mutation contract. Call only at quiescent
-     * boundaries with no views held.
+     * offsets and label bytes, so every outstanding filtering view
+     * (inEdges/outEdges/flowPreds/flowSuccs), raw span (inEdgesRaw/
+     * outEdgesRaw) and `label()` view of this graph is invalidated -
+     * the exception to the views' survive-every-mutation contract.
+     * Call only at quiescent boundaries with no views held.
      */
     void compact();
 
@@ -580,6 +683,14 @@ class Ddg
 
     void checkNode(NodeId id) const;
     void checkEdge(EdgeId id) const;
+
+    /**
+     * Append @p s to the label arena and return its start offset.
+     * Alias-safe: a view into labels_ itself is re-derived through
+     * its offset before the append can reallocate the blob (the
+     * addReplica/spillOneValue held-reference-across-realloc class).
+     */
+    std::uint32_t internLabel(std::string_view s);
 
     std::vector<DdgNode> nodes_;
     std::vector<DdgEdge> edges_;
@@ -590,6 +701,9 @@ class Ddg
     // for the invariants and relocation rules.
     std::vector<EdgeId> arena_;
     std::vector<detail::AdjSlot> slots_;
+    // Label arena: every node's label bytes, append-only; see the
+    // header comment for the invariants.
+    std::string labels_;
     int liveNodes_ = 0;
     int liveEdges_ = 0;
     std::uint64_t generation_ = freshGeneration();

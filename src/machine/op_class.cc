@@ -55,18 +55,6 @@ defaultLatency(OpClass cls)
     }
 }
 
-bool
-producesValue(OpClass cls)
-{
-    return cls != OpClass::Store;
-}
-
-bool
-isMemoryOp(OpClass cls)
-{
-    return cls == OpClass::Load || cls == OpClass::Store;
-}
-
 OpCategory
 categoryOf(OpClass cls)
 {

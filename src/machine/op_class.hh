@@ -55,11 +55,21 @@ const char *toString(ResourceKind kind);
 /** Table-1 latency of @p cls in cycles. */
 int defaultLatency(OpClass cls);
 
-/** True when @p cls defines a register value consumable by others. */
-bool producesValue(OpClass cls);
+/** True when @p cls defines a register value consumable by others.
+ *  Header-inline: called once per edge on graph-validation and
+ *  register-pressure hot paths. */
+constexpr bool
+producesValue(OpClass cls)
+{
+    return cls != OpClass::Store;
+}
 
-/** True for loads and stores. */
-bool isMemoryOp(OpClass cls);
+/** True for loads and stores. Header-inline, same reason. */
+constexpr bool
+isMemoryOp(OpClass cls)
+{
+    return cls == OpClass::Load || cls == OpClass::Store;
+}
 
 /** Figure-10 category of @p cls (Copy maps to Other). */
 OpCategory categoryOf(OpClass cls);

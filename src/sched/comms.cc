@@ -28,7 +28,7 @@ remoteClustersOf(const Ddg &ddg, const std::vector<int> &cluster_of,
     }
     cv_assert(n < static_cast<NodeId>(cluster_of.size()) &&
               cluster_of[n] >= 0,
-              "node ", node.label, " has no cluster");
+              "node ", ddg.label(n), " has no cluster");
 
     for (EdgeId eid : ddg.outEdgesRaw(n)) {
         const DdgEdge &e = ddg.edge(eid);

@@ -15,8 +15,10 @@ insertCopies(Ddg &ddg, Partition &part, const MachineConfig &mach)
 
     const CommInfo comms = findCommunications(ddg, part.vec());
     for (NodeId p : comms.producers) {
+        // label(p) views the graph's own arena; the interner is
+        // alias-safe, so the concatenation can stay allocation-free.
         const NodeId copy = ddg.addNode(
-            OpClass::Copy, ddg.node(p).label + ".copy");
+            OpClass::Copy, std::string(ddg.label(p)) + ".copy");
         part.assign(copy, part.clusterOf(p));
         ddg.addEdge(p, copy, EdgeKind::RegFlow, 0);
 

@@ -17,6 +17,9 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
     std::vector<std::string> errs;
     const int ii = sched.ii;
     auto phase = [ii](int t) { return ((t % ii) + ii) % ii; };
+    // Labels are string_views into the graph's arena; error text wants
+    // owned strings it can concatenate.
+    auto lbl = [&ddg](NodeId v) { return std::string(ddg.label(v)); };
 
     if (ii < 1) {
         errs.push_back("II < 1");
@@ -27,7 +30,7 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
     for (NodeId v : ddg.nodes()) {
         if (v >= static_cast<NodeId>(sched.start.size()) ||
             sched.start[v] < 0) {
-            errs.push_back("unscheduled node " + ddg.node(v).label);
+            errs.push_back("unscheduled node " + lbl(v));
         }
     }
     if (!errs.empty())
@@ -46,8 +49,8 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
         const int rhs = sched.start[e.src] + lat;
         if (lhs < rhs) {
             errs.push_back(
-                "dependence violated: " + ddg.node(e.src).label +
-                " -> " + ddg.node(e.dst).label + " (start " +
+                "dependence violated: " + lbl(e.src) +
+                " -> " + lbl(e.dst) + " (start " +
                 std::to_string(sched.start[e.src]) + " lat " +
                 std::to_string(lat) + " dist " +
                 std::to_string(e.distance) + " consumer at " +
@@ -65,14 +68,14 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
         if (node.cls == OpClass::Copy) {
             const int b = sched.busOf[v];
             if (b < 0 || b >= mach.numBuses()) {
-                errs.push_back("copy " + node.label +
+                errs.push_back("copy " + lbl(v) +
                                " has no bus assignment");
                 continue;
             }
             const int ph = phase(sched.start[v]);
             if (ph % mach.busLatency() != 0 ||
                 ph + mach.busLatency() > ii) {
-                errs.push_back("copy " + node.label +
+                errs.push_back("copy " + lbl(v) +
                                " starts at unaligned bus phase " +
                                std::to_string(ph));
             }
@@ -84,8 +87,8 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
                     errs.push_back(
                         "bus " + std::to_string(b) + " phase " +
                         std::to_string(key.second) +
-                        " double-booked by " + node.label + " and " +
-                        ddg.node(it->second).label);
+                        " double-booked by " + lbl(v) + " and " +
+                        lbl(it->second));
                 }
             }
         } else {
@@ -116,15 +119,15 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
         if (dst.cls == OpClass::Copy) {
             // A copy reads the register in its own cluster.
             if (part.clusterOf(e.src) != part.clusterOf(e.dst)) {
-                errs.push_back("copy " + dst.label +
+                errs.push_back("copy " + lbl(e.dst) +
                                " reads remote register of " +
-                               src.label);
+                               lbl(e.src));
             }
         } else if (src.cls != OpClass::Copy &&
                    part.clusterOf(e.src) != part.clusterOf(e.dst)) {
-            errs.push_back(dst.label + " in cluster " +
+            errs.push_back(lbl(e.dst) + " in cluster " +
                            std::to_string(part.clusterOf(e.dst)) +
-                           " reads " + src.label + " from cluster " +
+                           " reads " + lbl(e.src) + " from cluster " +
                            std::to_string(part.clusterOf(e.src)) +
                            " without a copy");
         }
@@ -135,7 +138,7 @@ checkSchedule(const Ddg &ddg, const MachineConfig &mach,
         if (ddg.node(v).cls != OpClass::Copy)
             continue;
         if (ddg.flowPreds(v).size() != 1) {
-            errs.push_back("copy " + ddg.node(v).label + " has " +
+            errs.push_back("copy " + lbl(v) + " has " +
                            std::to_string(ddg.flowPreds(v).size()) +
                            " operands");
         }

@@ -95,7 +95,9 @@ simulate(const Ddg &final_ddg, const MachineConfig &mach,
                      pn.cls != OpClass::Copy)) {
                     if (part.clusterOf(p) != part.clusterOf(v)) {
                         report.errors.push_back(
-                            node.label + " reads " + pn.label +
+                            std::string(final_ddg.label(v)) +
+                            " reads " +
+                            std::string(final_ddg.label(p)) +
                             " across clusters without a copy");
                     }
                 }
@@ -112,8 +114,10 @@ simulate(const Ddg &final_ddg, const MachineConfig &mach,
                         sched.start[v] + static_cast<long long>(i) * ii;
                     if (reads < ready) {
                         report.errors.push_back(
-                            node.label + "@" + std::to_string(i) +
-                            " reads " + pn.label + " at cycle " +
+                            std::string(final_ddg.label(v)) + "@" +
+                            std::to_string(i) + " reads " +
+                            std::string(final_ddg.label(p)) +
+                            " at cycle " +
                             std::to_string(reads) +
                             " before it is ready at " +
                             std::to_string(ready));
@@ -172,9 +176,10 @@ simulate(const Ddg &final_ddg, const MachineConfig &mach,
             ++report.valuesChecked;
             if (values[i][v] != expected) {
                 report.errors.push_back(
-                    node.label + "@" + std::to_string(i) +
+                    std::string(final_ddg.label(v)) + "@" +
+                    std::to_string(i) +
                     " computed a value different from the original " +
-                    original.node(node.semanticId).label);
+                    std::string(original.label(node.semanticId)));
             }
         }
         if (report.errors.size() > 20)

@@ -36,9 +36,25 @@ namespace
 constexpr char kMagic[8] = {'C', 'V', 'S', 'U', 'I', 'T', 'E', '\0'};
 // Version history: 1 = initial format (byte-serial word FNV digest);
 // 2 = same layout, 4-lane interleaved word-FNV payload digest (the
-// serial multiply chain was the bottleneck of cache opens).
-constexpr std::uint32_t kVersion = 2;
+// serial multiply chain was the bottleneck of cache opens); 3 = POD
+// node/edge records matching DdgNode/DdgEdge byte-for-byte plus a
+// per-record label blob, and per-record digests in the index table
+// so opens validate only header + index and each record is verified
+// lazily when touched.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+// Fixed header bytes before the index table (magic + version +
+// endianTag + seed + loopCount + payloadSize + indexFnv).
+constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 8 + 4 + 8 + 8;
+// Index table entry: u64 record offset + u64 record digest.
+constexpr std::uint64_t kIndexEntryBytes = 16;
+// On-disk node/edge records are the in-memory PODs; ddg.hh's
+// static_asserts pin the field offsets this file's validator reads.
+constexpr std::size_t kNodeRecBytes = sizeof(DdgNode);
+constexpr std::size_t kEdgeRecBytes = sizeof(DdgEdge);
+static_assert(kNodeRecBytes == 24 && kEdgeRecBytes == 24,
+              "suite v3 record layout drifted from the graph PODs");
 
 // On little-endian hosts the wire format matches memory layout, so
 // fixed-width fields load with a single memcpy; the shift-assembly
@@ -77,12 +93,6 @@ loadLe64(const unsigned char *p)
         v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
     return v;
 }
-
-// Node flag bits (u8 "flags" field).
-constexpr std::uint8_t kNodeAlive = 1u << 0;
-constexpr std::uint8_t kNodeReplica = 1u << 1;
-constexpr std::uint8_t kNodeSpill = 1u << 2;
-constexpr std::uint8_t kNodeLiveOut = 1u << 3;
 
 /**
  * FNV-1a folded over little-endian 64-bit words in four interleaved
@@ -247,35 +257,45 @@ serializeLoop(Writer &w, const Loop &loop)
     // Slot-level dump including tombstones, so removal history that
     // matters (dead slots between live ones) survives the round trip.
     // The node()/edge() accessors bounds-check only, so dead slots
-    // are readable.
+    // are readable. Records are written field by field on every host
+    // (not memcpy'd) so the bytes - and therefore the record digests -
+    // are canonical: explicit little-endian fields and hard-zero
+    // padding regardless of what the in-memory pad bytes hold.
     const Ddg &g = loop.ddg;
+    const std::string_view labels = g.labelArena();
     w.u32(static_cast<std::uint32_t>(g.numNodeSlots()));
+    w.u32(static_cast<std::uint32_t>(g.numEdgeSlots()));
+    w.u32(static_cast<std::uint32_t>(labels.size()));
     for (NodeId id = 0; id < g.numNodeSlots(); ++id) {
         const DdgNode &n = g.node(id);
-        w.u8(static_cast<std::uint8_t>(n.cls));
-        std::uint8_t flags = 0;
-        if (n.alive)
-            flags |= kNodeAlive;
-        if (n.isReplica)
-            flags |= kNodeReplica;
-        if (n.isSpill)
-            flags |= kNodeSpill;
-        if (n.liveOut)
-            flags |= kNodeLiveOut;
-        w.u8(flags);
+        w.i32(n.id);
         w.i32(n.semanticId);
-        w.str(n.label);
+        w.u32(n.labelOffset);
+        w.u32(n.labelLen);
+        w.u8(static_cast<std::uint8_t>(n.cls));
+        w.u8(n.isReplica ? 1 : 0);
+        w.u8(n.isSpill ? 1 : 0);
+        w.u8(n.liveOut ? 1 : 0);
+        w.u8(n.alive ? 1 : 0);
+        w.u8(0);
+        w.u8(0);
+        w.u8(0);
     }
-    w.u32(static_cast<std::uint32_t>(g.numEdgeSlots()));
     for (EdgeId id = 0; id < g.numEdgeSlots(); ++id) {
         const DdgEdge &e = g.edge(id);
+        w.i32(e.id);
         w.i32(e.src);
         w.i32(e.dst);
-        w.u8(static_cast<std::uint8_t>(e.kind));
-        w.u8(e.alive ? 1 : 0);
         w.i32(e.distance);
         w.i32(e.memLatency);
+        w.u8(static_cast<std::uint8_t>(e.kind));
+        w.u8(e.alive ? 1 : 0);
+        w.u8(0);
+        w.u8(0);
     }
+    // Label arena verbatim: dead slots' label bytes (and any orphaned
+    // bytes) ride along so the round trip is bit-identical.
+    w.bytes.insert(w.bytes.end(), labels.begin(), labels.end());
 }
 
 /**
@@ -285,6 +305,19 @@ serializeLoop(Writer &w, const Loop &loop)
  * strength of this function's guarantees. Any check removed here is
  * removed entirely; untrusted bytes must never reach the graph
  * unvalidated.
+ *
+ * The v3 records are the graph PODs byte-for-byte, so validation is
+ * one sweep per array over the raw mapped bytes - a masked 64-bit
+ * load covers the whole flag/enum/padding tail of a row (flag bytes
+ * strictly 0/1, op class / edge kind in range, padding zero - the
+ * bools the memcpy below materializes must never hold trap
+ * representations) and plain unaligned u32 loads cover the
+ * structural fields (endpoints, label slices, live-edge consistency)
+ * in the same pass; degrees fall out of the edge sweep for free.
+ * Only after a row is fully proven does anything typed exist: one
+ * bulk memcpy per array on little-endian hosts - no per-node parse
+ * loop and no per-node allocation. Big-endian hosts assemble the
+ * same bytes field by field instead of the memcpy.
  */
 Loop
 deserializeLoop(Reader &r)
@@ -295,98 +328,146 @@ deserializeLoop(Reader &r)
     loop.profile.visits = r.f64();
     loop.profile.avgIters = r.f64();
 
-    // Per-field Reader calls are the hot cost of a suite load (one
-    // bounds branch per field x ~500k fields per suite), so the
-    // fixed-width portions are bounds-checked once per run and parsed
-    // with raw little-endian loads; only the variable-length labels
-    // go through the checked path.
     const std::uint32_t node_slots = r.u32();
-    std::vector<DdgNode> nodes(node_slots);
-    {
-        // Raw cursor over the node records (u8 class + u8 flags +
-        // i32 semantic + label): one remaining-bytes check per node
-        // instead of one per field.
-        const unsigned char *q = r.data + r.pos;
-        const unsigned char *qe = r.data + r.size;
-        for (std::uint32_t i = 0; i < node_slots; ++i) {
-            if (qe - q < 10) {
-                r.pos = static_cast<std::size_t>(q - r.data);
-                r.need(10); // fails with the uniform truncation text
-            }
-            DdgNode &n = nodes[i];
-            const std::uint8_t cls = q[0];
-            if (cls >=
-                static_cast<std::uint8_t>(OpClass::NumOpClasses))
-                r.fail("bad op class " + std::to_string(cls));
-            n.cls = static_cast<OpClass>(cls);
-            const std::uint8_t flags = q[1];
-            n.alive = (flags & kNodeAlive) != 0;
-            n.isReplica = (flags & kNodeReplica) != 0;
-            n.isSpill = (flags & kNodeSpill) != 0;
-            n.liveOut = (flags & kNodeLiveOut) != 0;
-            n.semanticId = static_cast<NodeId>(loadLe32(q + 2));
-            if (n.semanticId < 0 ||
-                n.semanticId >= static_cast<NodeId>(node_slots)) {
-                r.fail("semantic id " + std::to_string(n.semanticId) +
-                       " outside the node array");
-            }
-            const std::size_t len = loadLe32(q + 6);
-            q += 10;
-            if (static_cast<std::size_t>(qe - q) < len) {
-                r.pos = static_cast<std::size_t>(q - r.data);
-                r.need(len);
-            }
-            n.label.assign(reinterpret_cast<const char *>(q), len);
-            q += len;
-        }
-        r.pos = static_cast<std::size_t>(q - r.data);
-    }
-
     const std::uint32_t edge_slots = r.u32();
-    std::vector<DdgEdge> edges(edge_slots);
-    // Degrees fall out of the validation loop for free; they feed
-    // Ddg::fromSlotsTrusted so the graph build skips its own
-    // validation + degree pass.
-    std::vector<std::uint32_t> in_deg(node_slots, 0),
-        out_deg(node_slots, 0);
-    r.need(static_cast<std::size_t>(edge_slots) * 18);
-    const unsigned char *p = r.data + r.pos;
-    for (std::uint32_t i = 0; i < edge_slots; ++i, p += 18) {
-        DdgEdge &e = edges[i];
-        e.src = static_cast<NodeId>(loadLe32(p));
-        e.dst = static_cast<NodeId>(loadLe32(p + 4));
-        const std::uint8_t kind = p[8];
-        const std::uint8_t alive = p[9];
-        e.distance = static_cast<std::int32_t>(loadLe32(p + 10));
-        e.memLatency = static_cast<std::int32_t>(loadLe32(p + 14));
-        if (e.src < 0 || e.src >= static_cast<NodeId>(node_slots) ||
-            e.dst < 0 || e.dst >= static_cast<NodeId>(node_slots)) {
-            r.fail("edge endpoint outside the node array");
+    const std::uint32_t label_bytes = r.u32();
+    // One bounds check for the whole fixed-width remainder (64-bit
+    // arithmetic: the three u32 counts cannot overflow it).
+    const std::uint64_t fixed =
+        static_cast<std::uint64_t>(node_slots) * kNodeRecBytes +
+        static_cast<std::uint64_t>(edge_slots) * kEdgeRecBytes +
+        label_bytes;
+    if (static_cast<std::uint64_t>(r.size - r.pos) < fixed)
+        r.need(static_cast<std::size_t>(fixed)); // uniform error text
+    const unsigned char *nrec = r.data + r.pos;
+    const unsigned char *erec = nrec + node_slots * kNodeRecBytes;
+    const unsigned char *lrec = erec + edge_slots * kEdgeRecBytes;
+
+    // --- Single validation sweep per array over the raw bytes. --------
+    // One 64-bit load and two masks cover a row's whole tail: bytes
+    // 16..23 of a node record are (cls, 4 flag bytes, 3 zero pads)
+    // and bytes 16..23 of an edge record are (memLatency, kind,
+    // alive, 2 zero pads). Flag bytes must be proven 0/1 BEFORE the
+    // memcpy below materializes C++ bools from them (a byte > 1
+    // would be a trap representation). The structural fields ride in
+    // the same sweep as unaligned u32 loads - free on x86, and it
+    // saves a second full pass over both arrays.
+    for (std::uint32_t i = 0; i < node_slots; ++i) {
+        const unsigned char *q = nrec + i * kNodeRecBytes;
+        const std::uint64_t tail = loadLe64(q + 16);
+        // Bits that may be set: cls (any byte), flags (bit 0 each).
+        if ((tail & 0xffffff'fefefefe'00ull) != 0 ||
+            (tail & 0xff) >=
+                static_cast<std::uint8_t>(OpClass::NumOpClasses)) {
+            r.fail("bad node flag/class/padding byte in record row " +
+                   std::to_string(i));
         }
-        if (kind > static_cast<std::uint8_t>(EdgeKind::Spill))
-            r.fail("bad edge kind " + std::to_string(kind));
-        e.kind = static_cast<EdgeKind>(kind);
-        e.alive = alive != 0;
-        if (e.distance < 0)
+        // semanticId: unsigned compare folds the negative case (as a
+        // u32 it exceeds any in-range slot count).
+        const std::uint32_t sid = loadLe32(q + 4);
+        if (sid >= node_slots) {
+            r.fail("semantic id " +
+                   std::to_string(static_cast<NodeId>(sid)) +
+                   " outside the node array");
+        }
+        if (static_cast<std::uint64_t>(loadLe32(q + 8)) +
+                loadLe32(q + 12) > label_bytes) {
+            r.fail("label slice outside the label arena");
+        }
+    }
+    // Degrees fall out of the edge sweep for free; they feed
+    // Ddg::fromSlotsTrusted so the graph build skips its own
+    // validation + degree pass. Thread-local scratch: deserializing a
+    // suite record-by-record would otherwise pay two allocations per
+    // record just for this transient.
+    static thread_local std::vector<std::uint32_t> deg_scratch;
+    deg_scratch.assign(2 * static_cast<std::size_t>(node_slots), 0);
+    std::uint32_t *in_deg = deg_scratch.data();
+    std::uint32_t *out_deg = in_deg + node_slots;
+    for (std::uint32_t i = 0; i < edge_slots; ++i) {
+        const unsigned char *q = erec + i * kEdgeRecBytes;
+        const std::uint64_t tail = loadLe64(q + 16);
+        // memLatency (bytes 0-3) is any i32; alive must be 0/1; the
+        // two pad bytes must be zero; kind capped at the last enum.
+        if ((tail & 0xfffffe'00'00000000ull) != 0 ||
+            ((tail >> 32) & 0xff) >
+                static_cast<std::uint8_t>(EdgeKind::Spill)) {
+            r.fail("bad edge kind/flag/padding byte in record row " +
+                   std::to_string(i));
+        }
+        const std::uint32_t src = loadLe32(q + 4);
+        const std::uint32_t dst = loadLe32(q + 8);
+        if (src >= node_slots || dst >= node_slots)
+            r.fail("edge endpoint outside the node array");
+        if (loadLe32(q + 12) >= 0x80000000u)
             r.fail("negative edge distance");
-        if (e.alive) {
-            if (!nodes[e.src].alive || !nodes[e.dst].alive)
+        if ((tail >> 40) & 0xff) { // alive (flag byte proven 0/1)
+            const unsigned char *srow = nrec + src * kNodeRecBytes;
+            if (srow[20] == 0 ||
+                nrec[dst * kNodeRecBytes + 20] == 0) {
                 r.fail("live edge on a dead node");
-            if (e.kind == EdgeKind::RegFlow &&
-                !producesValue(nodes[e.src].cls)) {
+            }
+            if (static_cast<EdgeKind>((tail >> 32) & 0xff) ==
+                    EdgeKind::RegFlow &&
+                !producesValue(static_cast<OpClass>(srow[16]))) {
                 r.fail("flow edge from a non-value-producing op");
             }
         }
-        ++out_deg[e.src];
-        ++in_deg[e.dst];
+        ++out_deg[src];
+        ++in_deg[dst];
     }
-    r.pos += static_cast<std::size_t>(edge_slots) * 18;
+
+    // --- Bulk materialization of the fully-validated bytes. -----------
+    std::vector<DdgNode> nodes(node_slots);
+    std::vector<DdgEdge> edges(edge_slots);
+    if (kHostLittleEndian) {
+        // memcpy (not a cast) also sidesteps mmap alignment: records
+        // start at arbitrary byte offsets.
+        if (node_slots) {
+            std::memcpy(nodes.data(), nrec,
+                        node_slots * kNodeRecBytes);
+        }
+        if (edge_slots) {
+            std::memcpy(edges.data(), erec,
+                        edge_slots * kEdgeRecBytes);
+        }
+    } else {
+        for (std::uint32_t i = 0; i < node_slots; ++i) {
+            const unsigned char *q = nrec + i * kNodeRecBytes;
+            DdgNode &n = nodes[i];
+            n.semanticId = static_cast<NodeId>(loadLe32(q + 4));
+            n.labelOffset = loadLe32(q + 8);
+            n.labelLen = loadLe32(q + 12);
+            n.cls = static_cast<OpClass>(q[16]);
+            n.isReplica = q[17] != 0;
+            n.isSpill = q[18] != 0;
+            n.liveOut = q[19] != 0;
+            n.alive = q[20] != 0;
+        }
+        for (std::uint32_t i = 0; i < edge_slots; ++i) {
+            const unsigned char *q = erec + i * kEdgeRecBytes;
+            DdgEdge &e = edges[i];
+            e.src = static_cast<NodeId>(loadLe32(q + 4));
+            e.dst = static_cast<NodeId>(loadLe32(q + 8));
+            e.distance = static_cast<std::int32_t>(loadLe32(q + 12));
+            e.memLatency =
+                static_cast<std::int32_t>(loadLe32(q + 16));
+            e.kind = static_cast<EdgeKind>(q[20]);
+            e.alive = q[21] != 0;
+        }
+    }
+    std::string labels(reinterpret_cast<const char *>(lrec),
+                       label_bytes);
+    r.pos += static_cast<std::size_t>(fixed);
 
     // Everything above threw on the first inconsistency, which is
-    // exactly the precondition the trusted bulk loader asks for.
+    // exactly the precondition the trusted bulk loader asks for
+    // (fromSlotsTrusted re-derives the id fields, so the on-disk ids
+    // need no validation of their own).
     loop.ddg = Ddg::fromSlotsTrusted(std::move(nodes),
-                                     std::move(edges), in_deg.data(),
-                                     out_deg.data());
+                                     std::move(edges),
+                                     std::move(labels), in_deg,
+                                     out_deg);
     return loop;
 }
 
@@ -396,14 +477,28 @@ void
 saveSuite(const std::vector<Loop> &suite, const std::string &path,
           std::uint64_t seed)
 {
-    // Payload plus the per-loop offset table that makes records
-    // independently addressable (parallel loading, random access).
+    // Payload plus the per-loop index that makes records
+    // independently addressable (parallel loading, random access) and
+    // independently verifiable (lazy per-record digests).
     Writer payload;
-    std::vector<std::uint64_t> offsets;
+    std::vector<std::uint64_t> offsets, digests;
     offsets.reserve(suite.size());
+    digests.reserve(suite.size());
     for (const Loop &loop : suite) {
-        offsets.push_back(payload.bytes.size());
+        const std::uint64_t off = payload.bytes.size();
+        offsets.push_back(off);
         serializeLoop(payload, loop);
+        digests.push_back(payloadDigest(payload.bytes.data() + off,
+                                        payload.bytes.size() - off));
+    }
+
+    // The index table gets its own digest (verified at open) so a
+    // flipped offset or record digest cannot silently redirect or
+    // whitewash a record.
+    Writer index;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        index.u64(offsets[i]);
+        index.u64(digests[i]);
     }
 
     Writer out;
@@ -413,9 +508,9 @@ saveSuite(const std::vector<Loop> &suite, const std::string &path,
     out.u64(seed);
     out.u32(static_cast<std::uint32_t>(suite.size()));
     out.u64(payload.bytes.size());
-    out.u64(payloadDigest(payload.bytes.data(), payload.bytes.size()));
-    for (std::uint64_t off : offsets)
-        out.u64(off);
+    out.u64(payloadDigest(index.bytes.data(), index.bytes.size()));
+    out.bytes.insert(out.bytes.end(), index.bytes.begin(),
+                     index.bytes.end());
     out.bytes.insert(out.bytes.end(), payload.bytes.begin(),
                      payload.bytes.end());
 
@@ -449,6 +544,7 @@ struct SuiteCacheFile::Impl
     std::size_t mapSize = 0;
 #endif
     std::vector<std::uint64_t> offsets;
+    std::vector<std::uint64_t> digests; //!< per-record, from the index
     const unsigned char *payload = nullptr; //!< into data()
     std::uint64_t payloadSize = 0;
     std::uint32_t loopCount = 0;
@@ -513,13 +609,28 @@ struct SuiteCacheFile::Impl
 #endif
     }
 
-    /** Bounds-checked reader over one loop record. */
+    std::uint64_t recordEnd(std::uint32_t i) const
+    {
+        return i + 1 < loopCount ? offsets[i + 1] : payloadSize;
+    }
+
+    /**
+     * Bounds-checked reader over one loop record, verified against
+     * the record's index digest first - the lazy-validation contract:
+     * exactly the bytes a consumer touches get integrity-checked,
+     * exactly when first touched.
+     */
     Reader record(std::uint32_t i, const std::string &path) const
     {
         const std::uint64_t begin = offsets[i];
-        const std::uint64_t end =
-            i + 1 < loopCount ? offsets[i + 1] : payloadSize;
-        return Reader{payload + begin, end - begin, path};
+        const std::uint64_t end = recordEnd(i);
+        Reader r{payload + begin,
+                 static_cast<std::size_t>(end - begin), path};
+        if (payloadDigest(r.data, r.size) != digests[i]) {
+            r.fail("record " + std::to_string(i) +
+                   " digest mismatch (corrupted file)");
+        }
+        return r;
     }
 };
 
@@ -559,16 +670,29 @@ SuiteCacheFile::SuiteCacheFile(const std::string &path)
     seed_ = r.u64();
     im.loopCount = r.u32();
     const std::uint64_t payload_size = r.u64();
-    const std::uint64_t digest = r.u64();
+    const std::uint64_t index_digest = r.u64();
 
-    // The header is not covered by the payload digest, so bound the
-    // offset-table allocation by the actual file size before trusting
+    // The header is not covered by the index digest, so bound the
+    // index-table allocation by the actual file size before trusting
     // loopCount (a flipped header byte must fail cleanly, not OOM).
-    if (static_cast<std::uint64_t>(im.loopCount) * 8 > r.size - r.pos)
+    if (static_cast<std::uint64_t>(im.loopCount) * kIndexEntryBytes >
+        r.size - r.pos) {
         r.fail("loop count exceeds the file size");
+    }
+    // Verify the raw index bytes before parsing them: a flipped
+    // offset or record digest must be caught here, at open, not
+    // laundered into a "corrupt record" error later (or worse, a
+    // whitewashed one).
+    if (payloadDigest(im.data() + r.pos,
+                      static_cast<std::size_t>(im.loopCount) *
+                          kIndexEntryBytes) != index_digest) {
+        r.fail("index digest mismatch (corrupted file)");
+    }
     im.offsets.resize(im.loopCount);
+    im.digests.resize(im.loopCount);
     for (std::uint32_t i = 0; i < im.loopCount; ++i) {
         im.offsets[i] = r.u64();
+        im.digests[i] = r.u64();
         if (im.offsets[i] >= payload_size ||
             (i > 0 && im.offsets[i] <= im.offsets[i - 1]) ||
             (i == 0 && im.offsets[i] != 0)) {
@@ -583,8 +707,9 @@ SuiteCacheFile::SuiteCacheFile(const std::string &path)
                std::to_string(payload_size) + ", file holds " +
                std::to_string(im.dataSize() - r.pos) + ")");
     }
-    if (payloadDigest(im.payload, payload_size) != digest)
-        r.fail("payload digest mismatch (corrupted file)");
+    // No whole-payload digest pass: record digests are verified
+    // lazily, each the first time its record is touched. An mmap'd
+    // open therefore faults in only the header + index pages.
 }
 
 SuiteCacheFile::~SuiteCacheFile() = default;
@@ -621,23 +746,48 @@ SuiteCacheFile::scan() const
     const Impl &im = *impl_;
     std::vector<SuiteLoopInfo> infos(im.loopCount);
     for (std::uint32_t i = 0; i < im.loopCount; ++i) {
+        // record() digest-verifies each record as the skim touches it
+        // (scan reads every record, so this is a full-payload pass -
+        // the price of returning facts about all of them).
         Reader rec = im.record(i, path_);
         SuiteLoopInfo &info = infos[i];
         info.benchmark = rec.str();
         info.index = rec.i32();
         rec.skip(16); // visits + avgIters
         const std::uint32_t node_slots = rec.u32();
+        rec.skip(8); // edge slot + label byte counts
+        rec.need(static_cast<std::size_t>(node_slots) *
+                 kNodeRecBytes);
+        // Fixed-stride records: the liveness byte sits at offset 20
+        // of each 24-byte node record (see the DdgNode asserts).
+        const unsigned char *q = rec.data + rec.pos;
         for (std::uint32_t n = 0; n < node_slots; ++n) {
-            rec.skip(1); // op class
-            if (rec.u8() & kNodeAlive)
+            if (q[n * kNodeRecBytes + 20])
                 ++info.liveNodes;
-            rec.skip(4); // semantic id
-            rec.skipStr();
         }
-        // Edges are not needed for a skim; the payload digest already
-        // vouched for the bytes we skipped.
     }
     return infos;
+}
+
+std::uint64_t
+SuiteCacheFile::validatedBytesOnOpen() const
+{
+    return kHeaderBytes +
+           static_cast<std::uint64_t>(impl_->loopCount) *
+               kIndexEntryBytes;
+}
+
+std::uint64_t
+SuiteCacheFile::recordBytes(std::uint32_t record) const
+{
+    const Impl &im = *impl_;
+    if (record >= im.loopCount) {
+        throw SuiteIoError("suite cache '" + path_ + "': record " +
+                           std::to_string(record) +
+                           " out of range (" +
+                           std::to_string(im.loopCount) + " loops)");
+    }
+    return im.recordEnd(record) - im.offsets[record];
 }
 
 Loop

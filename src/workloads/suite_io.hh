@@ -5,45 +5,63 @@
  * paying the ~7 ms `buildSuite` regeneration per process (the CMake
  * build generates the cache once; see below).
  *
- * ## File format (version 2)
+ * ## File format (version 3)
  *
  * All multi-byte fields are little-endian and fixed-width; the layout
  * is a single flat sequence (mmap-friendly: no pointers, no
- * alignment holes that depend on the host), checked end-to-end by a
- * payload digest.
+ * alignment holes that depend on the host). Integrity is *lazy and
+ * per-record*: the header and index table carry their own digest,
+ * verified at open, and every loop record carries a digest in the
+ * index, verified only when that record is touched - an open faults
+ * in ~a dozen KB no matter how large the suite is, and untouched
+ * records stay clean evictable file pages.
  *
  * ```
- * header:
+ * header (44 bytes):
  *   u8[8]  magic       "CVSUITE\0"
- *   u32    version     2
+ *   u32    version     3
  *   u32    endianTag   0x01020304 (rejects foreign-endian writers)
  *   u64    seed        generator seed the suite was built from
  *   u32    loopCount
- *   u64    payloadSize bytes following the offset table
- *   u64    payloadFnv  4-lane interleaved FNV-1a(64) over LE 64-bit
- *                      words of the payload (+ remainder bytes +
- *                      total length; see payloadDigest in the .cc)
- *   u64[loopCount] loopOffsets  byte offset of each loop record from
- *                      the payload start (strictly increasing, [0]=0)
+ *   u64    payloadSize bytes following the index table
+ *   u64    indexFnv    4-lane interleaved FNV-1a(64) over the index
+ *                      table bytes (see payloadDigest in the .cc)
+ * index table, per loop (16 bytes):
+ *   u64    offset      record start from the payload start
+ *                      (strictly increasing, [0] = 0)
+ *   u64    recordFnv   same digest function over that record's bytes
  * payload, per loop:
  *   str    benchmark   (u32 length + bytes)
  *   i32    index
  *   u64    visits      (IEEE-754 bit pattern)
  *   u64    avgIters    (IEEE-754 bit pattern)
  *   u32    nodeSlots   (including tombstones)
- *   per node slot: u8 opClass, u8 flags (bit0 alive, bit1 isReplica,
- *                  bit2 isSpill, bit3 liveOut), i32 semanticId,
- *                  str label
- *   u32    edgeSlots
- *   per edge slot: i32 src, i32 dst, u8 kind, u8 alive,
- *                  i32 distance, i32 memLatency
+ *   u32    edgeSlots   (including tombstones)
+ *   u32    labelBytes
+ *   nodeSlots x 24-byte node record = DdgNode's exact byte layout
+ *     (i32 id, i32 semanticId, u32 labelOffset, u32 labelLen,
+ *      u8 opClass, u8 isReplica, u8 isSpill, u8 liveOut, u8 alive,
+ *      u8[3] zero padding)
+ *   edgeSlots x 24-byte edge record = DdgEdge's exact byte layout
+ *     (i32 id, i32 src, i32 dst, i32 distance, i32 memLatency,
+ *      u8 kind, u8 alive, u8[2] zero padding)
+ *   u8[labelBytes]     the graph's label arena, verbatim
  * ```
+ *
+ * The node/edge records ARE the in-memory PODs (static_asserts in
+ * ddg/ddg.hh pin the layout): after one validation pass over the raw
+ * bytes, deserialization on little-endian hosts is one bulk memcpy
+ * per array plus one label-blob copy - no per-node parse loop, no
+ * per-node allocation. Big-endian hosts fall back to per-field
+ * assembly of the same bytes.
  *
  * Any truncation, corruption (digest mismatch), bad magic or
  * unsupported version is rejected with a `SuiteIoError` carrying a
  * clear message - never undefined behaviour. Version bumps are
- * append-only: readers reject versions they do not know. The offset
- * table makes loop records independently addressable, so big suites
+ * append-only: readers reject versions they do not know (a stale v2
+ * cache is rejected at open, and `loadOrBuildSuite` warns once with
+ * the path and both versions before regenerating). The offset table
+ * makes loop records independently addressable, so big suites
  * deserialize on several threads, and `SuiteCacheFile` materializes
  * single records lazily for binaries that touch a few loops (e.g.
  * perf_micro's sampled benches).
@@ -118,25 +136,26 @@ struct SuiteLoopInfo
 };
 
 /**
- * An open, validated suite cache: the file is opened, the header
- * parsed and the payload digest verified exactly once, after which
- * records are independently addressable through the offset table. The
+ * An open, validated suite cache: the constructor parses the header
+ * and verifies the index digest - nothing else - after which records
+ * are independently addressable through the offset table, each
+ * verified against its own digest the first time it is touched
+ * (`validatedBytesOnOpen()` reports how little the open checked). The
  * lazy counterpart of `loadSuite` for binaries that touch a few
- * loops: `loadLoop(i)` materializes one record (~1/678 of the parse
- * and allocation work), and `scan()` skims every record's header
- * facts without building any graph. All methods are const; a const
- * SuiteCacheFile is safe to share across threads.
+ * loops: `loadLoop(i)` materializes one record (~1/678 of the parse,
+ * validation and allocation work), and `scan()` skims every record's
+ * header facts without building any graph. All methods are const; a
+ * const SuiteCacheFile is safe to share across threads.
  *
  * Where the platform has mmap the file is mapped read-only instead of
- * slurped: no bulk copy on open, records parse zero-copy out of the
- * page cache, untouched records cost only clean evictable file pages
- * (the open-time digest pass streams them through once), and
- * concurrent opens of one cache share physical memory. Everywhere
- * else - or with `CVLIW_SUITE_MMAP=0` in the environment - the
- * original whole-file slurp is used; behaviour is identical either
- * way (tests pin both paths). Mapped mode trusts the file not to be
- * truncated while open, like every mmap consumer; the build-generated
- * cache is write-once.
+ * slurped: an open faults in only the header + index pages, records
+ * parse zero-copy out of the page cache when touched, untouched
+ * records cost nothing at all, and concurrent opens of one cache
+ * share physical memory. Everywhere else - or with
+ * `CVLIW_SUITE_MMAP=0` in the environment - the original whole-file
+ * slurp is used; behaviour is identical either way (tests pin both
+ * paths). Mapped mode trusts the file not to be truncated while open,
+ * like every mmap consumer; the build-generated cache is write-once.
  */
 class SuiteCacheFile
 {
@@ -166,6 +185,17 @@ class SuiteCacheFile
      * @throws SuiteIoError on a malformed record header
      */
     std::vector<SuiteLoopInfo> scan() const;
+
+    /**
+     * Bytes the constructor integrity-checked: the fixed header plus
+     * the index table. Everything else is verified lazily, record by
+     * record, as it is touched - the number perf_micro's cold-load
+     * bench reports against the file size.
+     */
+    std::uint64_t validatedBytesOnOpen() const;
+
+    /** Payload bytes of record @p record (index-bounds-checked). */
+    std::uint64_t recordBytes(std::uint32_t record) const;
 
   private:
     // loadSuite shares the validated byte buffer for its parallel

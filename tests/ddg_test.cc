@@ -31,7 +31,7 @@ TEST(Ddg, DefaultLabels)
 {
     Ddg g;
     const NodeId a = g.addNode(OpClass::Load);
-    EXPECT_EQ(g.node(a).label, "n0");
+    EXPECT_EQ(g.label(a), "n0");
 }
 
 TEST(Ddg, SemanticIdDefaultsToSelf)
@@ -50,7 +50,7 @@ TEST(Ddg, ReplicaSharesSemantics)
     EXPECT_EQ(g.node(r).semanticId, a);
     EXPECT_EQ(g.node(r).cls, OpClass::FpMul);
     EXPECT_TRUE(g.node(r).isReplica);
-    EXPECT_EQ(g.node(r).label, "a.r2");
+    EXPECT_EQ(g.label(r), "a.r2");
 
     // Replica of a replica still maps to the original.
     const NodeId r2 = g.addReplica(r, ".r3");
@@ -72,8 +72,8 @@ TEST(Ddg, RemoveNodeRemovesIncidentEdges)
     EXPECT_TRUE(g.flowSuccs(a).empty());
     EXPECT_TRUE(g.flowPreds(c).empty());
     // Ids of surviving nodes stay stable.
-    EXPECT_EQ(g.node(a).label, "a");
-    EXPECT_EQ(g.node(c).label, "c");
+    EXPECT_EQ(g.label(a), "a");
+    EXPECT_EQ(g.label(c), "c");
 }
 
 TEST(Ddg, RemoveEdgeOnly)

@@ -4,12 +4,19 @@
  * skipping after removals, iterator stability under const access,
  * the generation counter contract, the AnalysisCache memo, and a
  * regression check that compile() results on the paper's worked
- * example are unchanged by the view migration.
+ * example are unchanged by the view migration. The DdgLabels section
+ * covers the label-interning arena: replica suffix synthesis,
+ * allocation-free graph copies, compact() dropping dead-node label
+ * bytes, and alias safety of label views passed back into the graph.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
 #include <vector>
 
 #include "core/pipeline.hh"
@@ -19,6 +26,57 @@
 #include "partition/partition.hh"
 #include "support/rng.hh"
 #include "paper_graph.hh"
+
+// --- Global operator-new hook (this binary only). --------------------
+// The DdgLabels allocation tests flip g_count_news on around a graph
+// copy and read how many heap allocations it made. Replacement
+// operators must live at global scope; outside the counting window
+// they are plain malloc/free pass-throughs.
+namespace
+{
+std::atomic<bool> g_count_news{false};
+std::atomic<std::size_t> g_new_calls{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    if (g_count_news.load(std::memory_order_relaxed))
+        g_new_calls.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace cvliw
 {
@@ -477,7 +535,8 @@ TEST(DdgArena, FromSlotsCompactArenaGrowsAfterLoad)
     std::vector<DdgEdge> edges;
     for (EdgeId e = 0; e < s.g.numEdgeSlots(); ++e)
         edges.push_back(s.g.edge(e));
-    Ddg loaded = Ddg::fromSlots(std::move(nodes), std::move(edges));
+    Ddg loaded = Ddg::fromSlots(std::move(nodes), std::move(edges),
+                                std::string(s.g.labelArena()));
 
     for (NodeId n = 0; n < s.g.numNodeSlots(); ++n) {
         const EdgeSpan a = s.g.inEdgesRaw(n), b = loaded.inEdgesRaw(n);
@@ -546,6 +605,168 @@ TEST(DdgArena, CompactPreservesAdjacencyAndGeneration)
     const NodeId extra = g.addNode(OpClass::IntAlu, "extra");
     const EdgeId e = g.addEdge(hub, extra, EdgeKind::RegFlow, 0);
     EXPECT_EQ(g.outEdges(hub).toVector().back(), e);
+}
+
+// --- Label interning. -------------------------------------------------
+
+TEST(DdgLabels, AddReplicaSynthesizesSuffixIntoArena)
+{
+    Ddg g;
+    const NodeId a = g.addNode(OpClass::FpMul, "mul");
+    const NodeId r1 = g.addReplica(a, ".r1");
+    EXPECT_EQ(g.label(r1), "mul.r1");
+    EXPECT_TRUE(g.node(r1).isReplica);
+    EXPECT_EQ(g.node(r1).semanticId, a);
+
+    // Replica of a replica: the full synthesized label is the prefix,
+    // and the semantic id stays pinned to the original.
+    const NodeId r2 = g.addReplica(r1, ".r2");
+    EXPECT_EQ(g.label(r2), "mul.r1.r2");
+    EXPECT_EQ(g.node(r2).semanticId, a);
+
+    // Default labels synthesize as "n<id>".
+    const NodeId d = g.addNode(OpClass::Load);
+    EXPECT_EQ(g.label(d), "n" + std::to_string(d));
+}
+
+/** Heap allocations a copy of @p g makes (counted via the global
+ *  operator-new hook above). */
+std::size_t
+copyAllocCount(const Ddg &g)
+{
+    g_new_calls.store(0, std::memory_order_relaxed);
+    g_count_news.store(true, std::memory_order_relaxed);
+    const Ddg copy(g);
+    g_count_news.store(false, std::memory_order_relaxed);
+    const std::size_t calls =
+        g_new_calls.load(std::memory_order_relaxed);
+    EXPECT_EQ(copy.numNodes(), g.numNodes());
+    EXPECT_EQ(copy.labelArena(), g.labelArena());
+    return calls;
+}
+
+/** A chain of @p n nodes with long labels (defeats SSO) and edges. */
+Ddg
+labeledChain(int n)
+{
+    Ddg g;
+    NodeId prev = g.addNode(OpClass::Load, "head_0_long_label_bytes");
+    for (int i = 1; i < n; ++i) {
+        const NodeId next = g.addNode(
+            OpClass::IntAlu,
+            "chain_" + std::to_string(i) + "_long_label_bytes");
+        g.addEdge(prev, next, EdgeKind::RegFlow, 0);
+        prev = next;
+    }
+    return g;
+}
+
+TEST(DdgLabels, GraphCopyDoesNoPerNodeAllocation)
+{
+    // With labels interned into one arena string, copying a graph is
+    // a fixed handful of buffer copies (one per container), however
+    // many nodes it has. Per-node std::string labels would scale the
+    // count with the node count.
+    const Ddg small = labeledChain(16);
+    const Ddg big = labeledChain(128);
+    const std::size_t small_allocs = copyAllocCount(small);
+    const std::size_t big_allocs = copyAllocCount(big);
+    EXPECT_EQ(small_allocs, big_allocs)
+        << "copy allocations scale with graph size";
+    // nodes_, edges_, adjacency arena, slots_, label arena - plus a
+    // little slack for library bookkeeping.
+    EXPECT_LE(big_allocs, 8u);
+    EXPECT_GE(big_allocs, 1u) << "counting hook is not engaged";
+}
+
+TEST(DdgLabels, CompactDropsDeadNodeLabelBytes)
+{
+    Ddg g;
+    const NodeId a = g.addNode(OpClass::Load, "alpha_long_label_x");
+    const NodeId b = g.addNode(OpClass::IntAlu, "beta_long_label_yy");
+    const NodeId c = g.addNode(OpClass::Store, "gamma_long_label_z");
+    g.addEdge(a, c, EdgeKind::RegFlow, 0);
+
+    const std::size_t before = g.labelArena().size();
+    g.removeNode(b);
+    // Removal alone keeps the bytes (tombstoned slots still resolve).
+    EXPECT_EQ(g.labelArena().size(), before);
+    EXPECT_EQ(g.label(b), "beta_long_label_yy");
+
+    g.compact();
+    EXPECT_EQ(g.labelArena().size(),
+              std::string("alpha_long_label_x").size() +
+                  std::string("gamma_long_label_z").size());
+    EXPECT_EQ(g.label(a), "alpha_long_label_x");
+    EXPECT_EQ(g.label(c), "gamma_long_label_z");
+    EXPECT_EQ(g.label(b).size(), 0u) << "dead label survived compact";
+
+    // Idempotent: a second compact changes nothing.
+    g.compact();
+    EXPECT_EQ(g.label(a), "alpha_long_label_x");
+    EXPECT_EQ(g.label(c), "gamma_long_label_z");
+}
+
+TEST(DdgLabels, InterningIsAliasSafeAcrossArenaRealloc)
+{
+    // Views into the arena passed straight back into the graph
+    // (addNode labels, addReplica suffixes) must survive the arena
+    // reallocating mid-call. The oracle strings catch stale-pointer
+    // copies; under ASan a dangling read is a hard failure.
+    Ddg g;
+    std::vector<NodeId> ids;
+    std::vector<std::string> oracle;
+    ids.push_back(g.addNode(OpClass::IntAlu, "seed_label_0123456789"));
+    oracle.push_back("seed_label_0123456789");
+
+    for (int i = 0; i < 48; ++i) {
+        const NodeId prev = ids.back();
+        const std::string &prev_label = oracle.back();
+        NodeId n = -1;
+        std::string expect;
+        switch (i % 3) {
+        case 0:
+            // Self-alias: the label is a view into the arena that
+            // addNode itself appends to.
+            n = g.addNode(OpClass::Load, g.label(prev));
+            expect = prev_label;
+            break;
+        case 1:
+            // Suffix aliases the arena AND the first intern inside
+            // addReplica may reallocate it before the suffix is read.
+            n = g.addReplica(prev, g.label(ids.front()));
+            expect = prev_label + oracle.front();
+            break;
+        default:
+            // Growing owned suffix keeps forcing reallocations.
+            n = g.addReplica(
+                prev, "." + std::string(static_cast<std::size_t>(i),
+                                        'x'));
+            expect = prev_label + "." +
+                     std::string(static_cast<std::size_t>(i), 'x');
+            break;
+        }
+        ids.push_back(n);
+        oracle.push_back(expect);
+    }
+
+    ASSERT_EQ(ids.size(), oracle.size());
+    for (std::size_t k = 0; k < ids.size(); ++k)
+        EXPECT_EQ(g.label(ids[k]), oracle[k]) << "node " << ids[k];
+}
+
+TEST(DdgLabels, FromSlotsRejectsLabelSliceOutsideArena)
+{
+    Ddg g;
+    g.addNode(OpClass::Load, "ok");
+    std::vector<DdgNode> nodes;
+    for (NodeId n = 0; n < g.numNodeSlots(); ++n)
+        nodes.push_back(g.node(n));
+    std::vector<DdgEdge> edges;
+    nodes[0].labelLen = 1000; // slice runs past the arena
+    EXPECT_DEATH(Ddg::fromSlots(std::move(nodes), std::move(edges),
+                                std::string(g.labelArena())),
+                 "label");
 }
 
 } // namespace

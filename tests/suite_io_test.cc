@@ -70,7 +70,8 @@ expectDdgIdentical(const Ddg &a, const Ddg &b)
         const DdgNode &y = b.node(n);
         EXPECT_EQ(x.id, y.id);
         EXPECT_EQ(x.cls, y.cls) << "node " << n;
-        EXPECT_EQ(x.label, y.label) << "node " << n;
+        EXPECT_EQ(x.labelLen, y.labelLen) << "node " << n;
+        EXPECT_EQ(a.label(n), b.label(n)) << "node " << n;
         EXPECT_EQ(x.semanticId, y.semanticId) << "node " << n;
         EXPECT_EQ(x.isReplica, y.isReplica) << "node " << n;
         EXPECT_EQ(x.isSpill, y.isSpill) << "node " << n;
@@ -170,6 +171,34 @@ TEST(SuiteIo, TombstonesAndReplicasRoundTrip)
     const auto loaded = loadSuite(file.path());
     ASSERT_EQ(loaded.size(), 1u);
     expectSuitesIdentical({loop}, loaded);
+}
+
+TEST(SuiteIo, SaveLoadSaveIsByteIdentical)
+{
+    // The v3 records are the in-memory PODs and the label arena is
+    // written verbatim (dead-slot label bytes included), so a loaded
+    // suite re-serializes to the exact same bytes.
+    auto suite = buildBenchmark("applu");
+    Loop custom;
+    custom.benchmark = "custom";
+    custom.index = 1;
+    Ddg &g = custom.ddg;
+    const NodeId a = g.addNode(OpClass::Load, "a");
+    const NodeId b = g.addNode(OpClass::IntAlu, "b");
+    const NodeId c = g.addNode(OpClass::Store, "c");
+    const NodeId r = g.addReplica(b, ".r1");
+    g.addEdge(a, b, EdgeKind::RegFlow, 0);
+    g.addEdge(b, c, EdgeKind::RegFlow, 0);
+    g.addEdge(a, r, EdgeKind::RegFlow, 0);
+    g.removeNode(b); // dead slot keeps its label bytes in the arena
+    suite.push_back(std::move(custom));
+
+    TempFile first("ident1.cvsuite");
+    saveSuite(suite, first.path(), 42);
+    const auto loaded = loadSuite(first.path());
+    TempFile second("ident2.cvsuite");
+    saveSuite(loaded, second.path(), 42);
+    EXPECT_EQ(first.bytes(), second.bytes());
 }
 
 TEST(SuiteIo, RejectsMissingFile)
@@ -272,6 +301,54 @@ TEST(SuiteIo, RejectsCorruptedPayload)
     }
 }
 
+TEST(SuiteIo, OpenIsLazyAndValidatesOnlyTouchedRecords)
+{
+    // v3 contract: the constructor checks only the header and index
+    // table; each record's digest is verified the first time that
+    // record is touched. A corrupt record must not fail the open or
+    // poison its neighbours.
+    const auto built = buildBenchmark("applu");
+    ASSERT_GE(built.size(), 2u);
+    TempFile file("lazyvalidate.cvsuite");
+    saveSuite(built, file.path(), 42);
+    auto bytes = file.bytes();
+
+    std::uint64_t payload_start = 0;
+    std::uint64_t rec0_bytes = 0;
+    {
+        const SuiteCacheFile cache(file.path());
+        payload_start = cache.validatedBytesOnOpen();
+        // header(44) + 16 bytes of index per record - a sliver of
+        // the file.
+        EXPECT_EQ(payload_start, 44u + 16u * cache.loopCount());
+        EXPECT_LT(payload_start, bytes.size() / 4);
+        rec0_bytes = cache.recordBytes(0);
+        std::uint64_t total = 0;
+        for (std::uint32_t i = 0; i < cache.loopCount(); ++i)
+            total += cache.recordBytes(i);
+        EXPECT_EQ(payload_start + total, bytes.size());
+        EXPECT_THROW(cache.recordBytes(cache.loopCount()),
+                     SuiteIoError);
+    }
+
+    // Flip a bit in the middle of record 0 only.
+    bytes[payload_start + rec0_bytes / 2] ^= 0x04;
+    file.write(bytes);
+
+    const SuiteCacheFile cache(file.path()); // open still succeeds
+    const Loop ok = cache.loadLoop(1);       // untouched record: fine
+    EXPECT_EQ(ok.benchmark, built[1].benchmark);
+    expectDdgIdentical(ok.ddg, built[1].ddg);
+    try {
+        cache.loadLoop(0);
+        FAIL() << "corrupt record was accepted";
+    } catch (const SuiteIoError &err) {
+        EXPECT_NE(std::string(err.what()).find("digest"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
 TEST(SuiteIo, RejectsBadMagicAndWrongVersion)
 {
     const auto built = buildBenchmark("applu");
@@ -302,6 +379,35 @@ TEST(SuiteIo, RejectsBadMagicAndWrongVersion)
                   std::string::npos)
             << err.what();
     }
+}
+
+TEST(SuiteIo, RejectsStaleV2CacheAndRegenerates)
+{
+    // A build tree upgraded across the v2 -> v3 format bump keeps its
+    // old cache on disk until the next cache regeneration. The reader
+    // must reject it with the path and both versions (so the log is
+    // actionable), and loadOrBuildSuite must fall back to generation.
+    const auto built = buildBenchmark("applu");
+    TempFile file("stale_v2.cvsuite");
+    saveSuite(built, file.path(), 42);
+    auto bytes = file.bytes();
+    bytes[8] = 0x02; // version field follows the 8-byte magic
+    file.write(bytes);
+
+    try {
+        loadSuite(file.path());
+        FAIL() << "stale v2 cache was accepted";
+    } catch (const SuiteIoError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+        EXPECT_NE(what.find(file.path()), std::string::npos) << what;
+    }
+
+    setenv("CVLIW_SUITE_CACHE", file.path().c_str(), 1);
+    const auto suite = loadOrBuildSuite(42);
+    unsetenv("CVLIW_SUITE_CACHE");
+    EXPECT_EQ(suite.size(), buildSuite(42).size());
 }
 
 TEST(SuiteIo, RejectsHugeHeaderLoopCount)

@@ -95,7 +95,8 @@ TEST(Suite, LoopsAreStructurallySane)
             if (loop.ddg.flowSuccs(n).empty()) {
                 EXPECT_TRUE(node.cls == OpClass::Store ||
                             node.liveOut)
-                    << loop.name() << " node " << node.label;
+                    << loop.name() << " node "
+                    << loop.ddg.label(n);
             }
         }
         EXPECT_GE(loop.profile.visits, 1.0);
