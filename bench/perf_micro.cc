@@ -25,6 +25,7 @@
 #include "core/replicator.hh"
 #include "ddg/analysis.hh"
 #include "eval/frontier.hh"
+#include "eval/result_cache.hh"
 #include "eval/service.hh"
 #include "partition/multilevel.hh"
 #include "partition/refine.hh"
@@ -593,6 +594,122 @@ BM_FrontierFaultyTenant(benchmark::State &state)
 }
 BENCHMARK(BM_FrontierFaultyTenant)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Result-cache hit path on the largest suite loop: key derivation
+ * (three content digests over the graph, machine and options) plus
+ * the locked lookup and the result copy-out. Compare against
+ * BM_EndToEndCompileLargest/0 - the same compile served cold - for
+ * the cache's speedup; the cold_ms counter carries this bench's own
+ * one-shot cold measurement so the ratio is visible in one record.
+ * The acceptance bar is >= 10x.
+ */
+void
+BM_ResultCacheHit(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(0);
+    const auto m = MachineConfig::fromString("4c2b4l64r");
+    ResultCache cache;
+    PipelineOptions opts;
+    opts.resultCache = &cache;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    compile(loop.ddg, m, opts); // prime: the one cold compile
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compile(loop.ddg, m, opts));
+
+    state.counters["cold_ms"] =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    state.SetLabel(std::to_string(loop.ddg.numNodes()) + " nodes");
+}
+BENCHMARK(BM_ResultCacheHit);
+
+/**
+ * The dedup storm: a full pool races one batch of identical jobs
+ * through a fresh cache every iteration, so exactly one worker
+ * compiles as the in-flight leader while the rest join its result.
+ * The measured time is the whole batch; the compiles_per_batch
+ * counter (misses per iteration - pinned to 1.0 by the cache-contract
+ * tests) is the proof the storm cost one compile, not numWorkers.
+ */
+void
+BM_DedupStorm(benchmark::State &state)
+{
+    const Loop &loop = largestLoop(1);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    constexpr std::size_t kJobs = 64;
+
+    Frontier frontier;
+    double misses = 0;
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        ResultCache cache;
+        PipelineOptions opts;
+        opts.resultCache = &cache;
+        std::vector<Frontier::Job> jobs(
+            kJobs, Frontier::Job{&loop.ddg, &m, &opts});
+        state.ResumeTiming();
+
+        auto handle = frontier.submit(jobs);
+        handle.wait();
+
+        state.PauseTiming();
+        misses += static_cast<double>(cache.stats().misses);
+        ++iterations;
+        state.ResumeTiming();
+    }
+    state.counters["compiles_per_batch"] =
+        iterations ? misses / static_cast<double>(iterations) : 0.0;
+    state.SetLabel(std::to_string(frontier.numWorkers()) +
+                   " workers, " + std::to_string(kJobs) +
+                   " identical jobs");
+}
+BENCHMARK(BM_DedupStorm)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Warm restart: a fresh process loads the persistent tier (CVRCACHE
+ * v1, written by a prior run) and serves a suite sweep entirely from
+ * it. Measured per iteration: loadFrom (header + index + per-record
+ * digest validation + graph parses) plus every "compile" as a hit.
+ * Compare against BM_BatchCompile for what the restart skipped.
+ */
+void
+BM_WarmRestart(benchmark::State &state)
+{
+    std::vector<Loop> loops;
+    for (std::size_t i = 0; i < suite().size(); i += 8)
+        loops.push_back(suite()[i]);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    const std::string path = "/tmp/cvliw_perf_warm." +
+                             std::to_string(::getpid()) + ".cvrcache";
+    {
+        ResultCache warm;
+        PipelineOptions opts;
+        opts.resultCache = &warm;
+        for (const Loop &loop : loops)
+            compile(loop.ddg, m, opts);
+        warm.saveTo(path);
+    }
+
+    std::size_t loaded = 0;
+    for (auto _ : state) {
+        ResultCache cache;
+        loaded = cache.loadFrom(path);
+        PipelineOptions opts;
+        opts.resultCache = &cache;
+        for (const Loop &loop : loops)
+            benchmark::DoNotOptimize(compile(loop.ddg, m, opts));
+    }
+    state.counters["entries"] = static_cast<double>(loaded);
+    state.SetLabel(std::to_string(loops.size()) + " loops from disk");
+    std::remove(path.c_str());
+}
+BENCHMARK(BM_WarmRestart)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

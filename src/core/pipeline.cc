@@ -5,6 +5,7 @@
 
 #include "core/length_replication.hh"
 #include "core/spill.hh"
+#include "eval/result_cache.hh"
 #include "partition/multilevel.hh"
 #include "partition/refine.hh"
 #include "sched/comms.hh"
@@ -67,9 +68,17 @@ compile(const Ddg &original, const MachineConfig &mach,
     return compile(original, mach, opts, caches);
 }
 
+namespace
+{
+
+/**
+ * The pipeline proper. The public compile(..., caches) below wraps
+ * it with the optional content-addressed result cache; everything
+ * from here down is a cache *miss* path.
+ */
 CompileResult
-compile(const Ddg &original, const MachineConfig &mach,
-        const PipelineOptions &opts, CompileCaches &caches)
+compileImpl(const Ddg &original, const MachineConfig &mach,
+            const PipelineOptions &opts, CompileCaches &caches)
 {
     faults::point("pipeline.start");
 
@@ -233,6 +242,27 @@ compile(const Ddg &original, const MachineConfig &mach,
     cv_warn("pipeline gave up at II cap ", opts.maxIi);
     result.ok = false;
     return result;
+}
+
+} // namespace
+
+CompileResult
+compile(const Ddg &original, const MachineConfig &mach,
+        const PipelineOptions &opts, CompileCaches &caches)
+{
+    if (opts.resultCache != nullptr) {
+        // Content-addressed route: serve a prior identical job's
+        // result, join a concurrent identical compile, or compile
+        // here as the dedup leader and publish. A throwing compile
+        // (deadline, injected fault) propagates without populating
+        // the cache - same quarantine stance the frontier's workers
+        // take with their CompileCaches.
+        return opts.resultCache->getOrCompute(
+            makeResultCacheKey(original, mach, opts), [&] {
+                return compileImpl(original, mach, opts, caches);
+            });
+    }
+    return compileImpl(original, mach, opts, caches);
 }
 
 } // namespace cvliw

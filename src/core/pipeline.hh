@@ -23,6 +23,8 @@
 namespace cvliw
 {
 
+class ResultCache;
+
 /** Pipeline configuration. */
 struct PipelineOptions
 {
@@ -82,6 +84,19 @@ struct PipelineOptions
      * use the budget where reproducibility matters.
      */
     double softDeadlineMs = 0.0;
+
+    /**
+     * Opt-in content-addressed result cache (eval/result_cache.hh):
+     * when non-null, `compile(..., caches)` consults it before
+     * compiling and publishes what it computes, deduplicating
+     * concurrent identical jobs across threads - including the
+     * frontier's workers and `CompileService`, which inherit the
+     * behaviour through this field with no wiring of their own.
+     * Non-owning; the cache must outlive every compile using it. NOT
+     * part of the job identity (pipelineOptionsDigest skips it): two
+     * option sets differing only here are the same job.
+     */
+    ResultCache *resultCache = nullptr;
 };
 
 /** Everything the pipeline produced for one loop. */
@@ -159,6 +174,16 @@ CompileResult compile(const Ddg &original, const MachineConfig &mach,
 /**
  * Compile reusing @p caches (see CompileCaches). Bit-identical to the
  * cache-less overload for any cache state.
+ *
+ * When `opts.resultCache` is set the compile is routed through the
+ * result cache: a content-identical prior result is returned without
+ * compiling, a concurrent identical compile is joined instead of
+ * duplicated, and a fresh result is published for future callers.
+ * Results are bit-identical either way (the cache key is exactly the
+ * pipeline's input content). A compile that throws never populates
+ * the cache; when a dedup *leader* throws, joined callers receive the
+ * propagated failure (DeadlineExceeded for a timed-out leader, a
+ * std::runtime_error carrying the leader's message otherwise).
  *
  * If compile exits by throwing (deadline, injected fault, or a bug),
  * @p caches may hold a memo that was mid-update. Every memo is keyed

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <stdexcept>
 
 #include "support/deadline.hh"
 #include "support/faultpoint.hh"
@@ -265,7 +266,11 @@ bool
 Frontier::BatchHandle::ran(std::size_t i) const
 {
     cv_assert(ctl_, "empty batch handle");
-    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    if (i >= ctl_->jobs.size()) {
+        throw std::out_of_range(detail::concat(
+            "batch job index ", i, " out of range (batch has ",
+            ctl_->jobs.size(), " jobs)"));
+    }
     std::lock_guard<std::mutex> lock(ctl_->state->mutex);
     return ctl_->ran[i] != 0;
 }
@@ -274,7 +279,11 @@ JobOutcome
 Frontier::BatchHandle::outcome(std::size_t i) const
 {
     cv_assert(ctl_, "empty batch handle");
-    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    if (i >= ctl_->jobs.size()) {
+        throw std::out_of_range(detail::concat(
+            "batch job index ", i, " out of range (batch has ",
+            ctl_->jobs.size(), " jobs)"));
+    }
     std::lock_guard<std::mutex> lock(ctl_->state->mutex);
     return ctl_->outcomes[i];
 }
@@ -283,7 +292,11 @@ std::string
 Frontier::BatchHandle::errorOf(std::size_t i) const
 {
     cv_assert(ctl_, "empty batch handle");
-    cv_assert(i < ctl_->jobs.size(), "batch job index out of range");
+    if (i >= ctl_->jobs.size()) {
+        throw std::out_of_range(detail::concat(
+            "batch job index ", i, " out of range (batch has ",
+            ctl_->jobs.size(), " jobs)"));
+    }
     std::lock_guard<std::mutex> lock(ctl_->state->mutex);
     return ctl_->errors[i];
 }

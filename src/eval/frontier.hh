@@ -267,12 +267,16 @@ class Frontier
          * `outcome(i) == JobOutcome::Ok` (false: failed, timed out,
          * dropped by cancel, rejected, or not finished yet). Stable
          * once the batch is done.
+         * @throws std::out_of_range when @p i >= size() - a caller
+         *         input error, recoverable, unlike the fatal empty-
+         *         handle misuse
          */
         bool ran(std::size_t i) const;
 
         /**
          * Terminal state of job @p i; JobOutcome::Pending while the
          * job has not finished. Stable once the batch is done.
+         * @throws std::out_of_range when @p i >= size()
          */
         JobOutcome outcome(std::size_t i) const;
 
@@ -281,6 +285,7 @@ class Frontier
          * Failed/TimedOut, the admission message for Rejected, empty
          * for Ok/Cancelled/Pending. Always non-empty for
          * Failed/TimedOut/Rejected.
+         * @throws std::out_of_range when @p i >= size()
          */
         std::string errorOf(std::size_t i) const;
 

@@ -1,0 +1,810 @@
+#include "eval/result_cache.hh"
+
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "support/faultpoint.hh"
+#include "support/fnv.hh"
+#include "support/logging.hh"
+#include "workloads/suite_io.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    h ^= v;
+    h *= kFnv1aPrime;
+}
+
+/** Canonicalize an int to its u32 bit pattern before mixing. */
+void
+mixI(std::uint64_t &h, int v)
+{
+    mix(h, static_cast<std::uint32_t>(v));
+}
+
+} // namespace
+
+std::uint64_t
+ddgContentDigest(const Ddg &g)
+{
+    // Append-only mixing order (see the header): counts, node fields,
+    // edge fields, live labels. Fields are mixed explicitly - never
+    // raw slab bytes, whose padding is unspecified in memory - and
+    // the tombstone-dependent bytes (labelOffset/labelLen, rewritten
+    // by compact(); dead labels, dropped by it) are skipped so
+    // compact() is digest-neutral. The id fields are the slot index
+    // (an invariant, not content) and are likewise skipped.
+    std::uint64_t h = kFnv1aOffset;
+    mixI(h, g.numNodeSlots());
+    mixI(h, g.numEdgeSlots());
+    for (NodeId id = 0; id < g.numNodeSlots(); ++id) {
+        const DdgNode &n = g.node(id);
+        mixI(h, n.semanticId);
+        mix(h, static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(n.cls)) |
+                   (n.isReplica ? 1u << 8 : 0u) |
+                   (n.isSpill ? 1u << 9 : 0u) |
+                   (n.liveOut ? 1u << 10 : 0u) |
+                   (n.alive ? 1u << 11 : 0u));
+    }
+    for (EdgeId id = 0; id < g.numEdgeSlots(); ++id) {
+        const DdgEdge &e = g.edge(id);
+        mix(h, (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(e.src))
+                << 32) |
+                   static_cast<std::uint32_t>(e.dst));
+        mixI(h, e.distance);
+        mixI(h, e.memLatency);
+        mix(h, (static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(e.kind))
+                << 1) |
+                   (e.alive ? 1u : 0u));
+    }
+    for (NodeId id = 0; id < g.numNodeSlots(); ++id) {
+        if (!g.node(id).alive)
+            continue;
+        const std::string_view s = g.label(id);
+        mix(h, s.size());
+        for (const char c : s)
+            mix(h, static_cast<unsigned char>(c));
+    }
+    return h;
+}
+
+std::uint64_t
+machineContentDigest(const MachineConfig &mach)
+{
+    // Everything compile() can observe: the geometry, the per-cluster
+    // FU mix, and per op class both the latency and the resource kind
+    // it occupies (resourceFor also encodes universal-FU configs, and
+    // latency covers setLatency overrides two configs with one name()
+    // may differ in).
+    std::uint64_t h = kFnv1aOffset;
+    mixI(h, mach.numClusters());
+    mixI(h, mach.numBuses());
+    mixI(h, mach.busLatency());
+    mixI(h, mach.totalRegs());
+    const ClusterResources &res = mach.resources();
+    mixI(h, res.intFus);
+    mixI(h, res.fpFus);
+    mixI(h, res.memPorts);
+    mixI(h, res.anyFus);
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(OpClass::NumOpClasses); ++c) {
+        const OpClass cls = static_cast<OpClass>(c);
+        mixI(h, mach.latency(cls));
+        mix(h, static_cast<std::uint8_t>(mach.resourceFor(cls)));
+    }
+    return h;
+}
+
+std::uint64_t
+pipelineOptionsDigest(const PipelineOptions &opts)
+{
+    // Every field except resultCache (plumbing, not job identity).
+    // New options must be appended here or two jobs differing only in
+    // the new knob would collide.
+    std::uint64_t h = kFnv1aOffset;
+    mix(h, opts.replication ? 1u : 0u);
+    mix(h, opts.zeroBusLatency ? 1u : 0u);
+    mix(h, opts.lengthReplication ? 1u : 0u);
+    mix(h, opts.spilling ? 1u : 0u);
+    mix(h, static_cast<std::uint8_t>(opts.mode));
+    mixI(h, opts.maxIi);
+    mixI(h, opts.registerStagnationLimit);
+    mix(h, static_cast<std::uint64_t>(opts.stepBudget));
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(opts.softDeadlineMs),
+                  "double is 64-bit");
+    std::memcpy(&bits, &opts.softDeadlineMs, sizeof(bits));
+    mix(h, bits);
+    return h;
+}
+
+ResultCacheKey
+makeResultCacheKey(const Ddg &g, const MachineConfig &mach,
+                   const PipelineOptions &opts)
+{
+    return ResultCacheKey{ddgContentDigest(g),
+                          machineContentDigest(mach),
+                          pipelineOptionsDigest(opts)};
+}
+
+std::size_t
+resultFootprintBytes(const CompileResult &result)
+{
+    // Deterministic deep-size estimate (capacity is deliberately
+    // ignored: two bit-identical results must weigh the same).
+    std::size_t bytes = sizeof(CompileResult);
+    bytes += (result.schedule.start.size() +
+              result.schedule.busOf.size() +
+              result.schedule.maxLive.size() +
+              result.partition.vec().size()) *
+             sizeof(int);
+    bytes += result.iiIncreases.size();
+    const Ddg &g = result.finalDdg;
+    bytes += static_cast<std::size_t>(g.numNodeSlots()) *
+             sizeof(DdgNode);
+    bytes += static_cast<std::size_t>(g.numEdgeSlots()) *
+             sizeof(DdgEdge);
+    bytes += g.labelArena().size();
+    // Adjacency estimate: each edge sits in one in-list and one
+    // out-list, plus per-node span bookkeeping.
+    bytes += 2 * static_cast<std::size_t>(g.numEdgeSlots()) *
+             sizeof(EdgeId);
+    bytes += 4 * static_cast<std::size_t>(g.numNodeSlots()) *
+             sizeof(EdgeId);
+    return bytes;
+}
+
+// ---------------------------------------------------------------------
+// The cache proper.
+
+struct ResultCache::Entry
+{
+    std::shared_ptr<const CompileResult> result;
+    std::size_t bytes = 0;
+    std::list<ResultCacheKey>::iterator lruIt;
+};
+
+/**
+ * One in-flight compute's control block. Followers hold a shared_ptr
+ * and wait on the cache cv for `done`; the block outlives the
+ * inflight_ map entry, so a follower that wakes after the leader
+ * finished still reads a complete verdict.
+ */
+struct ResultCache::InFlight
+{
+    bool done = false;
+    bool ok = false;
+    bool timedOut = false;
+    std::string error;
+    std::shared_ptr<const CompileResult> result;
+};
+
+ResultCache::ResultCache(std::size_t max_bytes) : maxBytes_(max_bytes)
+{
+}
+
+ResultCache::~ResultCache() = default;
+
+CompileResult
+ResultCache::getOrCompute(const ResultCacheKey &key,
+                          const std::function<CompileResult()> &compute)
+{
+    std::shared_ptr<InFlight> block;
+    {
+        std::unique_lock<std::mutex> lock(lock_);
+        for (;;) {
+            auto hit = entries_.find(key);
+            if (hit != entries_.end()) {
+                lru_.splice(lru_.begin(), lru_, hit->second.lruIt);
+                ++hits_;
+                // Deep-copy outside the lock; the shared_ptr keeps
+                // the entry's bytes alive across concurrent eviction.
+                const std::shared_ptr<const CompileResult> r =
+                    hit->second.result;
+                lock.unlock();
+                return *r;
+            }
+            auto fit = inflight_.find(key);
+            if (fit == inflight_.end())
+                break; // become the leader
+            // Follower: join the leader's control block. Counted as a
+            // hit either way the leader ends - the follower never
+            // compiles - and as a dedup join.
+            ++hits_;
+            ++dedupJoins_;
+            const std::shared_ptr<InFlight> lead = fit->second;
+            cv_.wait(lock, [&] { return lead->done; });
+            if (lead->ok) {
+                const std::shared_ptr<const CompileResult> r =
+                    lead->result;
+                lock.unlock();
+                return *r;
+            }
+            // Propagate the leader's failure with the original
+            // message, typed so the frontier's workers classify
+            // follower jobs exactly like the leader's.
+            if (lead->timedOut)
+                throw DeadlineExceeded(lead->error);
+            throw std::runtime_error(lead->error);
+        }
+        block = std::make_shared<InFlight>();
+        inflight_.emplace(key, block);
+        ++misses_;
+    }
+
+    // Leader path: compute WITHOUT the cache lock (followers block on
+    // the control block, never on a held mutex around a compile).
+    try {
+        faults::point("resultcache.leader");
+        auto result =
+            std::make_shared<const CompileResult>(compute());
+        faults::point("resultcache.publish");
+        const std::size_t footprint = resultFootprintBytes(*result);
+        {
+            std::lock_guard<std::mutex> lock(lock_);
+            publishLocked(key, result, footprint);
+            inflight_.erase(key);
+            block->done = true;
+            block->ok = true;
+            block->result = result;
+        }
+        cv_.notify_all();
+        return *result;
+    } catch (const DeadlineExceeded &err) {
+        failInFlight(key, block, true, err.what());
+        throw;
+    } catch (const std::exception &err) {
+        failInFlight(key, block, false, err.what());
+        throw;
+    } catch (...) {
+        failInFlight(key, block, false,
+                     "dedup leader exited with a non-standard "
+                     "exception");
+        throw;
+    }
+}
+
+void
+ResultCache::publishLocked(const ResultCacheKey &key,
+                           std::shared_ptr<const CompileResult> result,
+                           std::size_t footprint)
+{
+    if (footprint > maxBytes_) {
+        ++oversized_;
+        return;
+    }
+    auto [it, inserted] = entries_.emplace(key, Entry{});
+    if (!inserted) {
+        // Defensive only: entries_ and inflight_ are disjoint, and
+        // loadFrom skips in-flight keys, so a leader's publish never
+        // races an existing entry through the public API.
+        bytes_ -= it->second.bytes;
+        lru_.erase(it->second.lruIt);
+    }
+    lru_.push_front(key);
+    it->second.result = std::move(result);
+    it->second.bytes = footprint;
+    it->second.lruIt = lru_.begin();
+    bytes_ += footprint;
+    ++insertions_;
+    evictToFitLocked();
+}
+
+void
+ResultCache::evictToFitLocked()
+{
+    while (bytes_ > maxBytes_ && !lru_.empty()) {
+        const ResultCacheKey victim = lru_.back();
+        const auto it = entries_.find(victim);
+        cv_assert(it != entries_.end(), "LRU list out of sync");
+        bytes_ -= it->second.bytes;
+        entries_.erase(it);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+void
+ResultCache::failInFlight(const ResultCacheKey &key,
+                          const std::shared_ptr<InFlight> &block,
+                          bool timed_out, const std::string &error)
+{
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        inflight_.erase(key);
+        block->done = true;
+        block->ok = false;
+        block->timedOut = timed_out;
+        block->error = error;
+    }
+    cv_.notify_all();
+}
+
+bool
+ResultCache::contains(const ResultCacheKey &key) const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    return entries_.count(key) != 0;
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    ResultCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.dedupJoins = dedupJoins_;
+    s.evictions = evictions_;
+    s.insertions = insertions_;
+    s.oversized = oversized_;
+    s.diskLoaded = diskLoaded_;
+    s.diskRejected = diskRejected_;
+    s.diskSkipped = diskSkipped_;
+    s.bytes = bytes_;
+    s.maxBytes = maxBytes_;
+    s.entries = entries_.size();
+    return s;
+}
+
+std::size_t
+ResultCache::maxBytes() const
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    return maxBytes_;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(lock_);
+    entries_.clear();
+    lru_.clear();
+    bytes_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Persistent tier: "CVRCACHE" format v1. Same discipline as the suite
+// cache (workloads/suite_io.hh): little-endian fixed-width fields, a
+// digest-verified index table, per-record digests, and each entry's
+// finalDdg embedded as a verbatim suite v3 graph record.
+//
+// header (44 bytes):
+//   u8[8]  magic       "CVRCACHE"
+//   u32    version     1
+//   u32    endianTag   0x01020304
+//   u64    reserved    0
+//   u32    entryCount
+//   u64    payloadSize
+//   u64    indexFnv    fnvDigest4Lane over the index table bytes
+// index table, per entry (16 bytes):
+//   u64    offset      record start from the payload start
+//   u64    recordFnv   fnvDigest4Lane over that record's bytes
+// payload, per entry:
+//   u64x3  key         (graph, machine, options digests)
+//   u8     ok
+//   i32x2  mii, ii
+//   i32    schedule.ii
+//   vec    schedule.start    (u32 count + i32 each)
+//   vec    schedule.busOf
+//   i32x2  schedule.length, schedule.stageCount
+//   vec    schedule.maxLive
+//   u32    partition.numClusters
+//   vec    partition.vec     (-1 = unassigned)
+//   i32x7  repl (comsInitial, comsRemoved, replicasAdded,
+//                replicasByCat[3], instructionsRemoved)
+//   i32    repl.roundsConsidered
+//   u32    iiIncreases count + u8 each (< NumFailCauses)
+//   i32x4  comsFinal, usefulOps, lengthSaved, spills
+//   v3 graph record for finalDdg (suite_v3::appendGraph layout)
+
+namespace
+{
+
+constexpr char kCacheMagic[8] = {'C', 'V', 'R', 'C',
+                                 'A', 'C', 'H', 'E'};
+constexpr std::uint32_t kCacheVersion = 1;
+constexpr std::uint32_t kCacheEndianTag = 0x01020304u;
+constexpr std::uint64_t kCacheIndexEntryBytes = 16;
+
+void
+putU8(std::vector<unsigned char> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU32(std::vector<unsigned char> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void
+putU64(std::vector<unsigned char> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back((v >> (8 * i)) & 0xff);
+}
+
+void
+putI32(std::vector<unsigned char> &out, std::int32_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void
+putVecI32(std::vector<unsigned char> &out, const std::vector<int> &v)
+{
+    putU32(out, static_cast<std::uint32_t>(v.size()));
+    for (const int x : v)
+        putI32(out, x);
+}
+
+/** Bounds-checked little-endian cursor; throws instead of over-reading. */
+struct CacheReader
+{
+    const unsigned char *data;
+    std::size_t size;
+    const std::string &context;
+    std::size_t pos = 0;
+
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw ResultCacheIoError("result cache '" + context +
+                                 "': " + what);
+    }
+
+    void need(std::size_t n) const
+    {
+        if (size - pos < n) {
+            fail("truncated (need " + std::to_string(n) +
+                 " bytes at offset " + std::to_string(pos) + ", have " +
+                 std::to_string(size - pos) + ")");
+        }
+    }
+
+    std::uint8_t u8()
+    {
+        need(1);
+        return data[pos++];
+    }
+
+    std::uint32_t u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    std::vector<int> vecI32()
+    {
+        const std::uint32_t n = u32();
+        need(static_cast<std::size_t>(n) * 4);
+        std::vector<int> v(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            v[i] = i32();
+        return v;
+    }
+};
+
+void
+appendRecord(std::vector<unsigned char> &out,
+             const ResultCacheKey &key, const CompileResult &r)
+{
+    putU64(out, key.graph);
+    putU64(out, key.machine);
+    putU64(out, key.options);
+    putU8(out, r.ok ? 1 : 0);
+    putI32(out, r.mii);
+    putI32(out, r.ii);
+    putI32(out, r.schedule.ii);
+    putVecI32(out, r.schedule.start);
+    putVecI32(out, r.schedule.busOf);
+    putI32(out, r.schedule.length);
+    putI32(out, r.schedule.stageCount);
+    putVecI32(out, r.schedule.maxLive);
+    putU32(out, static_cast<std::uint32_t>(r.partition.numClusters()));
+    putVecI32(out, r.partition.vec());
+    putI32(out, r.repl.comsInitial);
+    putI32(out, r.repl.comsRemoved);
+    putI32(out, r.repl.replicasAdded);
+    for (const int n : r.repl.replicasByCat)
+        putI32(out, n);
+    putI32(out, r.repl.instructionsRemoved);
+    putI32(out, r.repl.roundsConsidered);
+    putU32(out, static_cast<std::uint32_t>(r.iiIncreases.size()));
+    for (const FailCause cause : r.iiIncreases)
+        putU8(out, static_cast<std::uint8_t>(cause));
+    putI32(out, r.comsFinal);
+    putI32(out, r.usefulOps);
+    putI32(out, r.lengthSaved);
+    putI32(out, r.spills);
+    suite_v3::appendGraph(out, r.finalDdg);
+}
+
+/**
+ * Parse and validate one record. The record digest already matched,
+ * but the bytes are still treated as untrusted: every count is
+ * bounds-checked against the record, every enum validated, and the
+ * graph goes through the suite v3 single-sweep validator before
+ * anything typed exists.
+ */
+std::pair<ResultCacheKey, CompileResult>
+parseRecord(const unsigned char *data, std::size_t size,
+            const std::string &context)
+{
+    CacheReader r{data, size, context};
+    ResultCacheKey key;
+    key.graph = r.u64();
+    key.machine = r.u64();
+    key.options = r.u64();
+
+    CompileResult result;
+    const std::uint8_t ok = r.u8();
+    if (ok > 1)
+        r.fail("bad ok flag byte");
+    result.ok = ok != 0;
+    result.mii = r.i32();
+    result.ii = r.i32();
+    result.schedule.ii = r.i32();
+    result.schedule.start = r.vecI32();
+    result.schedule.busOf = r.vecI32();
+    result.schedule.length = r.i32();
+    result.schedule.stageCount = r.i32();
+    result.schedule.maxLive = r.vecI32();
+
+    const std::uint32_t num_clusters = r.u32();
+    if (num_clusters == 0 || num_clusters > (1u << 16))
+        r.fail("bad partition cluster count");
+    const std::vector<int> assignment = r.vecI32();
+    Partition part(static_cast<int>(num_clusters),
+                   static_cast<int>(assignment.size()));
+    for (std::size_t n = 0; n < assignment.size(); ++n) {
+        const int cluster = assignment[n];
+        if (cluster == -1)
+            continue;
+        if (cluster < 0 || cluster >= static_cast<int>(num_clusters))
+            r.fail("partition assignment outside the machine");
+        part.assign(static_cast<NodeId>(n), cluster);
+    }
+    result.partition = std::move(part);
+
+    result.repl.comsInitial = r.i32();
+    result.repl.comsRemoved = r.i32();
+    result.repl.replicasAdded = r.i32();
+    for (int &n : result.repl.replicasByCat)
+        n = r.i32();
+    result.repl.instructionsRemoved = r.i32();
+    result.repl.roundsConsidered = r.i32();
+
+    const std::uint32_t increases = r.u32();
+    r.need(increases);
+    result.iiIncreases.reserve(increases);
+    for (std::uint32_t i = 0; i < increases; ++i) {
+        const std::uint8_t cause = r.u8();
+        if (cause > static_cast<std::uint8_t>(FailCause::Resources))
+            r.fail("bad II-increase cause byte");
+        result.iiIncreases.push_back(static_cast<FailCause>(cause));
+    }
+
+    result.comsFinal = r.i32();
+    result.usefulOps = r.i32();
+    result.lengthSaved = r.i32();
+    result.spills = r.i32();
+
+    // SuiteIoError from the graph validator surfaces to loadFrom's
+    // per-record catch, same as a ResultCacheIoError from this layer.
+    result.finalDdg = suite_v3::parseGraph(data, size, r.pos, context);
+    if (r.pos != size)
+        r.fail("record has trailing bytes");
+    return {key, std::move(result)};
+}
+
+} // namespace
+
+void
+ResultCache::saveTo(const std::string &path) const
+{
+    std::vector<unsigned char> payload;
+    std::vector<std::uint64_t> offsets, digests;
+    {
+        std::lock_guard<std::mutex> lock(lock_);
+        offsets.reserve(entries_.size());
+        digests.reserve(entries_.size());
+        // Most recently used first, so a reload into a smaller budget
+        // keeps the hottest entries (loadFrom stops at the budget).
+        for (const ResultCacheKey &key : lru_) {
+            const auto it = entries_.find(key);
+            cv_assert(it != entries_.end(), "LRU list out of sync");
+            const std::uint64_t off = payload.size();
+            offsets.push_back(off);
+            appendRecord(payload, key, *it->second.result);
+            digests.push_back(fnvDigest4Lane(payload.data() + off,
+                                             payload.size() - off));
+        }
+    }
+
+    std::vector<unsigned char> index;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        putU64(index, offsets[i]);
+        putU64(index, digests[i]);
+    }
+
+    std::vector<unsigned char> out;
+    out.insert(out.end(), kCacheMagic,
+               kCacheMagic + sizeof(kCacheMagic));
+    putU32(out, kCacheVersion);
+    putU32(out, kCacheEndianTag);
+    putU64(out, 0); // reserved
+    putU32(out, static_cast<std::uint32_t>(offsets.size()));
+    putU64(out, payload.size());
+    putU64(out, fnvDigest4Lane(index.data(), index.size()));
+    out.insert(out.end(), index.begin(), index.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        throw ResultCacheIoError("cannot open '" + path +
+                                 "' for writing");
+    }
+    f.write(reinterpret_cast<const char *>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    if (!f)
+        throw ResultCacheIoError("short write to '" + path + "'");
+}
+
+std::size_t
+ResultCache::loadFrom(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    if (!f) {
+        throw ResultCacheIoError("cannot open result cache '" + path +
+                                 "'");
+    }
+    const std::streamsize file_size = f.tellg();
+    f.seekg(0);
+    std::vector<unsigned char> bytes(
+        static_cast<std::size_t>(file_size));
+    if (file_size > 0) {
+        f.read(reinterpret_cast<char *>(bytes.data()), file_size);
+        if (!f)
+            throw ResultCacheIoError("short read from '" + path + "'");
+    }
+
+    // Header + index: any corruption here rejects the whole file (an
+    // untrusted index cannot address records safely). Everything
+    // after is per-record.
+    CacheReader r{bytes.data(), bytes.size(), path};
+    r.need(sizeof(kCacheMagic));
+    if (std::memcmp(bytes.data(), kCacheMagic, sizeof(kCacheMagic)) !=
+        0) {
+        r.fail("not a result cache (bad magic)");
+    }
+    r.pos = sizeof(kCacheMagic);
+    const std::uint32_t version = r.u32();
+    if (version != kCacheVersion) {
+        r.fail("unsupported version " + std::to_string(version) +
+               " (this build reads version " +
+               std::to_string(kCacheVersion) + ")");
+    }
+    if (r.u32() != kCacheEndianTag)
+        r.fail("foreign-endian file");
+    r.u64(); // reserved
+    const std::uint32_t entry_count = r.u32();
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t index_digest = r.u64();
+    // Bound the index allocation by the actual file size before
+    // trusting entry_count (a flipped header byte must fail cleanly).
+    if (static_cast<std::uint64_t>(entry_count) *
+            kCacheIndexEntryBytes >
+        r.size - r.pos) {
+        r.fail("entry count exceeds the file size");
+    }
+    if (fnvDigest4Lane(bytes.data() + r.pos,
+                       static_cast<std::size_t>(entry_count) *
+                           kCacheIndexEntryBytes) != index_digest) {
+        r.fail("index digest mismatch (corrupted file)");
+    }
+    std::vector<std::uint64_t> offsets(entry_count);
+    std::vector<std::uint64_t> digests(entry_count);
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+        offsets[i] = r.u64();
+        digests[i] = r.u64();
+        if (offsets[i] >= payload_size ||
+            (i > 0 && offsets[i] <= offsets[i - 1]) ||
+            (i == 0 && offsets[i] != 0)) {
+            r.fail("corrupt entry offset table");
+        }
+    }
+    if (r.size - r.pos != payload_size) {
+        r.fail("payload size mismatch (header says " +
+               std::to_string(payload_size) + ", file holds " +
+               std::to_string(r.size - r.pos) + ")");
+    }
+    const unsigned char *payload = bytes.data() + r.pos;
+
+    std::size_t added = 0;
+    for (std::uint32_t i = 0; i < entry_count; ++i) {
+        const std::uint64_t begin = offsets[i];
+        const std::uint64_t end =
+            i + 1 < entry_count ? offsets[i + 1] : payload_size;
+        try {
+            if (fnvDigest4Lane(payload + begin,
+                               static_cast<std::size_t>(end - begin)) !=
+                digests[i]) {
+                throw ResultCacheIoError(
+                    "record digest mismatch (corrupted entry)");
+            }
+            auto [key, result] =
+                parseRecord(payload + begin,
+                            static_cast<std::size_t>(end - begin),
+                            path);
+            const std::size_t footprint =
+                resultFootprintBytes(result);
+            auto sp =
+                std::make_shared<const CompileResult>(
+                    std::move(result));
+            std::lock_guard<std::mutex> lock(lock_);
+            if (entries_.count(key) != 0 ||
+                inflight_.count(key) != 0) {
+                continue; // live state wins over the disk tier
+            }
+            if (footprint > maxBytes_ ||
+                bytes_ + footprint > maxBytes_) {
+                // Records are saved hottest-first: once the budget is
+                // full every remaining record is at most as hot, so
+                // skipping (not evicting) preserves LRU order.
+                ++diskSkipped_;
+                continue;
+            }
+            lru_.push_back(key); // colder than everything already in
+            Entry e;
+            e.result = std::move(sp);
+            e.bytes = footprint;
+            e.lruIt = std::prev(lru_.end());
+            entries_.emplace(key, std::move(e));
+            bytes_ += footprint;
+            ++diskLoaded_;
+            ++added;
+        } catch (const std::exception &err) {
+            // Per-record integrity: one rotten entry costs one
+            // recompile, never the whole cache.
+            {
+                std::lock_guard<std::mutex> lock(lock_);
+                ++diskRejected_;
+            }
+            cv_warn("result cache '", path, "': skipping record ", i,
+                    ": ", err.what());
+        }
+    }
+    return added;
+}
+
+} // namespace cvliw

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Process-wide, content-addressed compile result cache with in-flight
+ * deduplication, an LRU byte budget, and an optional persistent
+ * on-disk tier. The serving north star assumes massively overlapping
+ * work: identical (graph, machine, options) jobs should compile once,
+ * ever - the same measure-once-serve-everywhere shape as
+ * instruction reuse by content.
+ *
+ * ## Keying
+ *
+ * Entries are keyed on three content digests (ResultCacheKey):
+ *
+ *  - `ddgContentDigest(g)`: FNV-1a over the graph's logical content -
+ *    slot counts, every node/edge field that survives serialization,
+ *    and the *live* labels. Tombstone-dependent bytes are skipped by
+ *    construction: `labelOffset`/`labelLen` (rewritten by `compact()`)
+ *    and dead slots' label bytes (dropped by it) never enter the
+ *    digest, so `compact()` is digest-neutral while any structural
+ *    mutation (addNode/addReplica/addEdge/removeNode/removeEdge,
+ *    liveOut flips) changes the digest. Raw slab bytes are NOT hashed:
+ *    in-memory POD padding is unspecified, so fields are mixed
+ *    explicitly in a pinned, append-only order.
+ *  - `machineContentDigest(m)`: every field that affects compilation -
+ *    cluster/bus/latency/register geometry, per-cluster resources,
+ *    and the per-op-class latency and resource mapping (which also
+ *    encodes universal-FU configs). Deliberately NOT
+ *    `MachineConfig::id()`: ids are process-unique (re-stamped per
+ *    factory call and by `setLatency`), which would defeat both the
+ *    persistent tier and sharing across equal config instances.
+ *  - `pipelineOptionsDigest(o)`: every PipelineOptions field except
+ *    `resultCache` itself (the cache pointer is plumbing, not job
+ *    identity).
+ *
+ * The pipeline is deterministic in exactly these three inputs, so a
+ * key match means the cached CompileResult is bit-identical to what a
+ * fresh compile would produce (tests/result_cache_test.cc pins this
+ * with the eval/digest.hh result digests).
+ *
+ * ## In-flight deduplication
+ *
+ * `getOrCompute` makes the second submitter of a key *block on the
+ * first submitter's control block* instead of compiling twice: the
+ * first caller becomes the **leader** and runs the compile (outside
+ * the cache lock), every concurrent caller with the same key becomes
+ * a **follower** and waits. A leader that returns publishes the
+ * result to all followers; a leader that throws propagates failure -
+ * followers rethrow `DeadlineExceeded` when the leader timed out and
+ * `std::runtime_error` otherwise, so the frontier's workers map
+ * follower jobs to the same `TimedOut`/`Failed` outcomes the leader
+ * got. Deadlock-free by construction: leaders never wait on the
+ * cache, and followers only wait on a leader that is actively
+ * compiling. Cancellation composes cleanly with the frontier: a
+ * claimed (in-flight) job is never cancelled, so a dedup leader
+ * always runs to completion and wakes its followers.
+ *
+ * Quarantine semantics: a compile that *throws* never populates the
+ * cache. A compile that returns normally is cached even when
+ * `ok == false` - infeasibility is a deterministic property of the
+ * key, and serving it from cache is exactly as correct as recomputing
+ * it.
+ *
+ * ## Budget and stats
+ *
+ * Entries are LRU-evicted to keep the deep-copied results under a
+ * byte budget (`resultFootprintBytes`). `stats()` snapshots the
+ * counters; the books always close: every `getOrCompute` call counts
+ * exactly one of `hits`/`misses` (`dedupJoins` is the subset of hits
+ * that waited on a leader, including followers of a failed leader;
+ * `misses` is the number of leaders, i.e. actual compiles started).
+ *
+ * ## Persistent tier ("CVRCACHE" format v1)
+ *
+ * `saveTo`/`loadFrom` spill and restore entries so warm restarts skip
+ * recompiling. The file reuses the suite_io v3 machinery: the same
+ * header discipline (magic, version, endian tag, digest-verified
+ * index), the same 4-lane FNV record digests (support/fnv.hh), and
+ * each entry's `finalDdg` is embedded as a verbatim v3 graph record
+ * (suite_v3::appendGraph/parseGraph). Integrity is *per-record*: a
+ * corrupt header or index rejects the file, but a truncated or
+ * bit-flipped record is skipped with a warning (counted in
+ * `diskRejected`) while every other record still loads - one rotten
+ * entry costs one recompile, not the whole cache.
+ */
+
+#ifndef CVLIW_EVAL_RESULT_CACHE_HH
+#define CVLIW_EVAL_RESULT_CACHE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.hh"
+#include "ddg/ddg.hh"
+#include "machine/config.hh"
+
+namespace cvliw
+{
+
+/** Malformed, corrupted or unreadable result cache file. */
+class ResultCacheIoError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Content digest of a graph's logical structure (see the file
+ * comment): `compact()`-neutral, changed by any structural mutation.
+ * Append-only mixing order - extending the digest for new fields must
+ * append, never reorder, so recorded digests stay comparable.
+ */
+std::uint64_t ddgContentDigest(const Ddg &g);
+
+/**
+ * Content digest of everything about @p mach that affects
+ * compilation. Equal configs (same factory arguments) digest equal,
+ * across processes - unlike `MachineConfig::id()`.
+ */
+std::uint64_t machineContentDigest(const MachineConfig &mach);
+
+/**
+ * Content digest of @p opts, excluding the `resultCache` pointer
+ * (plumbing, not job identity).
+ */
+std::uint64_t pipelineOptionsDigest(const PipelineOptions &opts);
+
+/** The cache key: three content digests (see the file comment). */
+struct ResultCacheKey
+{
+    std::uint64_t graph = 0;   //!< ddgContentDigest
+    std::uint64_t machine = 0; //!< machineContentDigest
+    std::uint64_t options = 0; //!< pipelineOptionsDigest
+
+    bool operator==(const ResultCacheKey &o) const
+    {
+        return graph == o.graph && machine == o.machine &&
+               options == o.options;
+    }
+    bool operator!=(const ResultCacheKey &o) const
+    {
+        return !(*this == o);
+    }
+};
+
+/** Build the key for one (graph, machine, options) job. */
+ResultCacheKey makeResultCacheKey(const Ddg &g,
+                                  const MachineConfig &mach,
+                                  const PipelineOptions &opts);
+
+/**
+ * Deterministic deep-size estimate of one cached result (struct +
+ * schedule vectors + partition + iiIncreases + finalDdg slabs,
+ * labels and adjacency) - the unit of the LRU byte budget.
+ */
+std::size_t resultFootprintBytes(const CompileResult &result);
+
+/** Counter snapshot; see the file comment for the bookkeeping law. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;   //!< served without compiling
+    std::uint64_t misses = 0; //!< became leader (compile started)
+    /** Hits that waited on an in-flight leader (subset of hits). */
+    std::uint64_t dedupJoins = 0;
+    std::uint64_t evictions = 0;  //!< entries LRU-evicted
+    std::uint64_t insertions = 0; //!< entries published
+    /** Results larger than the whole budget (never cached). */
+    std::uint64_t oversized = 0;
+    std::uint64_t diskLoaded = 0;   //!< entries added by loadFrom
+    std::uint64_t diskRejected = 0; //!< corrupt records skipped
+    /** Valid on-disk records skipped because the budget was full. */
+    std::uint64_t diskSkipped = 0;
+    std::size_t bytes = 0;    //!< current footprint of live entries
+    std::size_t maxBytes = 0; //!< the configured budget
+    std::size_t entries = 0;  //!< live entries
+};
+
+/**
+ * The cache. All methods are thread-safe; one instance is meant to be
+ * shared process-wide (wire it in via `PipelineOptions::resultCache`,
+ * and every `compile(..., caches)` call - including the frontier's
+ * workers and `CompileService` - consults it automatically).
+ */
+class ResultCache
+{
+  public:
+    /** Default byte budget: plenty for the full suite at all configs. */
+    static constexpr std::size_t kDefaultMaxBytes =
+        std::size_t(256) << 20;
+
+    explicit ResultCache(std::size_t max_bytes = kDefaultMaxBytes);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * The core operation: return the cached result for @p key, or
+     * join an in-flight compute of it, or run @p compute as the
+     * leader and publish what it returns. @p compute runs WITHOUT
+     * the cache lock held; if it throws, the exception propagates to
+     * the leader unchanged, every waiting follower receives the
+     * propagated failure (see the file comment), and nothing is
+     * cached. Fault points: `resultcache.leader` fires in the leader
+     * path before the compute, `resultcache.publish` after it.
+     */
+    CompileResult
+    getOrCompute(const ResultCacheKey &key,
+                 const std::function<CompileResult()> &compute);
+
+    /** Is @p key cached right now? (No stats or LRU effect.) */
+    bool contains(const ResultCacheKey &key) const;
+
+    /** Snapshot the counters. */
+    ResultCacheStats stats() const;
+
+    std::size_t maxBytes() const;
+
+    /** Drop every entry (counters are kept; in-flight jobs unaffected). */
+    void clear();
+
+    /**
+     * Write every live entry to @p path (CVRCACHE v1, most recently
+     * used first so a smaller-budget reload keeps the hottest).
+     * @throws ResultCacheIoError when the file cannot be written
+     */
+    void saveTo(const std::string &path) const;
+
+    /**
+     * Merge entries from @p path into memory, most recent first,
+     * until the byte budget is full. Per-record integrity (see the
+     * file comment): corrupt records are skipped and counted in
+     * `diskRejected`; keys already cached are left untouched.
+     * @return the number of entries added
+     * @throws ResultCacheIoError on a missing/unreadable file or a
+     *         corrupt header/index
+     */
+    std::size_t loadFrom(const std::string &path);
+
+  private:
+    struct Entry;
+    struct InFlight;
+    struct KeyHash
+    {
+        std::size_t operator()(const ResultCacheKey &k) const
+        {
+            // The components are already FNV digests; one extra fold
+            // spreads them over the table.
+            std::uint64_t h = k.graph;
+            h = (h ^ k.machine) * 0x9e3779b97f4a7c15ull;
+            h = (h ^ k.options) * 0x9e3779b97f4a7c15ull;
+            return static_cast<std::size_t>(h);
+        }
+    };
+
+    /** Insert under lock_, evicting LRU tail entries to fit. */
+    void publishLocked(const ResultCacheKey &key,
+                       std::shared_ptr<const CompileResult> result,
+                       std::size_t footprint);
+
+    /** Evict least-recently-used entries until bytes_ <= maxBytes_. */
+    void evictToFitLocked();
+
+    /** Mark a leader's control block failed and wake followers. */
+    void failInFlight(const ResultCacheKey &key,
+                      const std::shared_ptr<InFlight> &block,
+                      bool timed_out, const std::string &error);
+
+    mutable std::mutex lock_;
+    std::condition_variable cv_;
+    std::unordered_map<ResultCacheKey, Entry, KeyHash> entries_;
+    std::unordered_map<ResultCacheKey, std::shared_ptr<InFlight>,
+                       KeyHash>
+        inflight_;
+    std::list<ResultCacheKey> lru_; //!< front = most recently used
+    std::size_t maxBytes_;
+    std::size_t bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t dedupJoins_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t oversized_ = 0;
+    std::uint64_t diskLoaded_ = 0;
+    std::uint64_t diskRejected_ = 0;
+    std::uint64_t diskSkipped_ = 0;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_EVAL_RESULT_CACHE_HH

@@ -23,6 +23,13 @@
  * directly; see eval/frontier.hh for the scheduling model and the
  * cache-reuse contract.
  *
+ * Setting `PipelineOptions::resultCache` on the jobs routes every
+ * compile through the content-addressed result cache
+ * (eval/result_cache.hh): duplicated jobs inside a batch - or across
+ * batches and tenants - compile once, concurrent identical jobs are
+ * deduplicated in flight, and results stay bit-identical to the
+ * cache-off run (the cache key is the job's full input content).
+ *
  * ## Determinism
  *
  * Every job is compiled independently: result[i] depends only on

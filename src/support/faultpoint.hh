@@ -30,6 +30,10 @@
  *  - `frontier.claim`       - worker claimed a job, before compile
  *  - `frontier.complete`    - worker finished a compile, before
  *                             publishing the result
+ *  - `resultcache.leader`   - result-cache dedup leader registered,
+ *                             before its compile runs
+ *  - `resultcache.publish`  - leader's compile returned, before the
+ *                             result is published to followers
  *
  * ## Schedule syntax (CVLIW_FAULTS and faults::arm)
  *

@@ -1,0 +1,66 @@
+#include "support/fnv.hh"
+
+#include <cstring>
+
+namespace cvliw
+{
+
+namespace
+{
+
+#if defined(__BYTE_ORDER__) &&                                          \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
+
+std::uint64_t
+loadLe64(const unsigned char *p)
+{
+    if (kHostLittleEndian) {
+        std::uint64_t v;
+        std::memcpy(&v, p, sizeof(v));
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace
+
+std::uint64_t
+fnvDigest4Lane(const unsigned char *data, std::size_t size)
+{
+    std::uint64_t lane[4] = {kFnv1aOffset, kFnv1aOffset + 1,
+                             kFnv1aOffset + 2, kFnv1aOffset + 3};
+    const std::size_t words = size / 8;
+    const std::size_t groups = words / 4;
+    for (std::size_t g = 0; g < groups; ++g) {
+        const unsigned char *p = data + 32 * g;
+        for (int j = 0; j < 4; ++j) {
+            lane[j] ^= loadLe64(p + 8 * j);
+            lane[j] *= kFnv1aPrime;
+        }
+    }
+    std::uint64_t h = kFnv1aOffset;
+    for (int j = 0; j < 4; ++j) {
+        h ^= lane[j];
+        h *= kFnv1aPrime;
+    }
+    for (std::size_t i = groups * 4; i < words; ++i) {
+        h ^= loadLe64(data + 8 * i);
+        h *= kFnv1aPrime;
+    }
+    for (std::size_t i = words * 8; i < size; ++i) {
+        h ^= data[i];
+        h *= kFnv1aPrime;
+    }
+    h ^= static_cast<std::uint64_t>(size);
+    h *= kFnv1aPrime;
+    return h;
+}
+
+} // namespace cvliw

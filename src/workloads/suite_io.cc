@@ -94,48 +94,11 @@ loadLe64(const unsigned char *p)
     return v;
 }
 
-/**
- * FNV-1a folded over little-endian 64-bit words in four interleaved
- * lanes (lane j hashes words j, j+4, j+8, ...), with the lanes, the
- * remainder bytes and the total length folded together at the end.
- * A single FNV chain is one dependent 64-bit multiply per word - the
- * multiplier latency serializes the whole pass - while four
- * independent chains keep the multiplier pipeline full, making the
- * integrity check ~4x cheaper on the loadSuite fast path and still
- * sensitive to any flipped bit. Words are assembled by explicit
- * shifts, so the digest is identical on any host endianness.
- */
-std::uint64_t
-payloadDigest(const unsigned char *data, std::size_t size)
-{
-    std::uint64_t lane[4] = {kFnv1aOffset, kFnv1aOffset + 1,
-                             kFnv1aOffset + 2, kFnv1aOffset + 3};
-    const std::size_t words = size / 8;
-    const std::size_t groups = words / 4;
-    for (std::size_t g = 0; g < groups; ++g) {
-        const unsigned char *p = data + 32 * g;
-        for (int j = 0; j < 4; ++j) {
-            lane[j] ^= loadLe64(p + 8 * j);
-            lane[j] *= kFnv1aPrime;
-        }
-    }
-    std::uint64_t h = kFnv1aOffset;
-    for (int j = 0; j < 4; ++j) {
-        h ^= lane[j];
-        h *= kFnv1aPrime;
-    }
-    for (std::size_t i = groups * 4; i < words; ++i) {
-        h ^= loadLe64(data + 8 * i);
-        h *= kFnv1aPrime;
-    }
-    for (std::size_t i = words * 8; i < size; ++i) {
-        h ^= data[i];
-        h *= kFnv1aPrime;
-    }
-    h ^= static_cast<std::uint64_t>(size);
-    h *= kFnv1aPrime;
-    return h;
-}
+// The per-record payload digest is the shared 4-lane interleaved
+// word-FNV from support/fnv.hh (it moved there so the result cache's
+// persistent tier pins the identical function); this alias keeps the
+// call sites readable.
+constexpr auto payloadDigest = fnvDigest4Lane;
 
 /** Append-only little-endian byte sink. */
 struct Writer
@@ -246,22 +209,22 @@ struct Reader
     void skipStr() { skip(u32()); }
 };
 
+/**
+ * Write the v3 graph section: slot counts, POD node/edge records,
+ * label arena. Shared verbatim between suite loop records and the
+ * result cache's persistent tier (via suite_v3::appendGraph).
+ *
+ * Slot-level dump including tombstones, so removal history that
+ * matters (dead slots between live ones) survives the round trip.
+ * The node()/edge() accessors bounds-check only, so dead slots
+ * are readable. Records are written field by field on every host
+ * (not memcpy'd) so the bytes - and therefore the record digests -
+ * are canonical: explicit little-endian fields and hard-zero
+ * padding regardless of what the in-memory pad bytes hold.
+ */
 void
-serializeLoop(Writer &w, const Loop &loop)
+serializeGraph(Writer &w, const Ddg &g)
 {
-    w.str(loop.benchmark);
-    w.i32(loop.index);
-    w.f64(loop.profile.visits);
-    w.f64(loop.profile.avgIters);
-
-    // Slot-level dump including tombstones, so removal history that
-    // matters (dead slots between live ones) survives the round trip.
-    // The node()/edge() accessors bounds-check only, so dead slots
-    // are readable. Records are written field by field on every host
-    // (not memcpy'd) so the bytes - and therefore the record digests -
-    // are canonical: explicit little-endian fields and hard-zero
-    // padding regardless of what the in-memory pad bytes hold.
-    const Ddg &g = loop.ddg;
     const std::string_view labels = g.labelArena();
     w.u32(static_cast<std::uint32_t>(g.numNodeSlots()));
     w.u32(static_cast<std::uint32_t>(g.numEdgeSlots()));
@@ -298,8 +261,20 @@ serializeLoop(Writer &w, const Loop &loop)
     w.bytes.insert(w.bytes.end(), labels.begin(), labels.end());
 }
 
+void
+serializeLoop(Writer &w, const Loop &loop)
+{
+    w.str(loop.benchmark);
+    w.i32(loop.index);
+    w.f64(loop.profile.visits);
+    w.f64(loop.profile.avgIters);
+    serializeGraph(w, loop.ddg);
+}
+
 /**
- * Parse one loop record. Every field is validated HERE - this is the
+ * Parse one v3 graph section (the Ddg portion of a loop record, also
+ * the graph portion of a result cache record via
+ * suite_v3::parseGraph). Every field is validated HERE - this is the
  * only validation layer: the slots go to Ddg::fromSlotsTrusted,
  * which skips the graph layer's own consistency checks on the
  * strength of this function's guarantees. Any check removed here is
@@ -319,15 +294,9 @@ serializeLoop(Writer &w, const Loop &loop)
  * loop and no per-node allocation. Big-endian hosts assemble the
  * same bytes field by field instead of the memcpy.
  */
-Loop
-deserializeLoop(Reader &r)
+Ddg
+deserializeGraph(Reader &r)
 {
-    Loop loop;
-    loop.benchmark = r.str();
-    loop.index = r.i32();
-    loop.profile.visits = r.f64();
-    loop.profile.avgIters = r.f64();
-
     const std::uint32_t node_slots = r.u32();
     const std::uint32_t edge_slots = r.u32();
     const std::uint32_t label_bytes = r.u32();
@@ -464,14 +433,47 @@ deserializeLoop(Reader &r)
     // exactly the precondition the trusted bulk loader asks for
     // (fromSlotsTrusted re-derives the id fields, so the on-disk ids
     // need no validation of their own).
-    loop.ddg = Ddg::fromSlotsTrusted(std::move(nodes),
-                                     std::move(edges),
-                                     std::move(labels), in_deg,
-                                     out_deg);
+    return Ddg::fromSlotsTrusted(std::move(nodes), std::move(edges),
+                                 std::move(labels), in_deg, out_deg);
+}
+
+Loop
+deserializeLoop(Reader &r)
+{
+    Loop loop;
+    loop.benchmark = r.str();
+    loop.index = r.i32();
+    loop.profile.visits = r.f64();
+    loop.profile.avgIters = r.f64();
+    loop.ddg = deserializeGraph(r);
     return loop;
 }
 
 } // namespace
+
+namespace suite_v3
+{
+
+void
+appendGraph(std::vector<unsigned char> &out, const Ddg &g)
+{
+    Writer w;
+    serializeGraph(w, g);
+    out.insert(out.end(), w.bytes.begin(), w.bytes.end());
+}
+
+Ddg
+parseGraph(const unsigned char *data, std::size_t size,
+           std::size_t &pos, const std::string &context)
+{
+    Reader r{data, size, context};
+    r.pos = pos;
+    Ddg g = deserializeGraph(r);
+    pos = r.pos;
+    return g;
+}
+
+} // namespace suite_v3
 
 void
 saveSuite(const std::vector<Loop> &suite, const std::string &path,

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -155,6 +156,33 @@ TEST(Frontier, EmptyBatchCompletesImmediately)
     handle.wait(); // returns immediately
     EXPECT_TRUE(handle.results().empty());
     EXPECT_EQ(handle.cancel(), 0u); // nothing to drop
+}
+
+TEST(Frontier, OutOfRangeJobIndexThrows)
+{
+    // Regression: these used to be fatal asserts; an off-by-one in a
+    // caller's polling loop must be a catchable error, not a crash.
+    const auto &sample = sampleLoops();
+    const auto m = MachineConfig::fromString("2c1b2l64r");
+    Frontier frontier(2);
+    std::vector<Frontier::Job> jobs = {
+        Frontier::Job{&sample[0].ddg, &m, nullptr},
+        Frontier::Job{&sample[1].ddg, &m, nullptr},
+    };
+    auto handle = frontier.submit(jobs);
+    handle.wait();
+
+    EXPECT_THROW(handle.ran(jobs.size()), std::out_of_range);
+    EXPECT_THROW(handle.outcome(jobs.size()), std::out_of_range);
+    EXPECT_THROW(handle.errorOf(jobs.size()), std::out_of_range);
+    EXPECT_THROW(handle.outcome(jobs.size() + 100), std::out_of_range);
+
+    // In-range accessors still work on the same handle afterwards.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_TRUE(handle.ran(i));
+        EXPECT_EQ(handle.outcome(i), JobOutcome::Ok);
+        EXPECT_TRUE(handle.errorOf(i).empty());
+    }
 }
 
 TEST(Frontier, CancelBeforeStartDropsEveryJob)
