@@ -596,6 +596,92 @@ BENCHMARK(BM_FrontierFaultyTenant)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /**
+ * The starvation guard the fair-share redesign is pinned by: a
+ * saturating bulk tenant (weight 8, priority 10, half the suite per
+ * batch) shares the pool with a weight-1 background tenant submitting
+ * a 4-loop batch right after it. Under the old strict-priority claim
+ * rule the background tenant waited for the entire bulk stream; under
+ * weighted fair share its latency must stay bounded by its pool
+ * share, not by the bulk queue depth. Counters:
+ *
+ *  - bg_p99_ms: the background tenant's p99 submit-to-done latency
+ *    from the frontier's own per-tenant histogram - THE pinned
+ *    number; a regression here means starvation is back.
+ *  - bg_first_done_ms: streaming latency to the background batch's
+ *    *first* completed job (nextDone), reported beside...
+ *  - bg_wait_ms: ...the full batch wait() latency, so the gap shows
+ *    what streaming consumers gain over batch waiters.
+ *  - starved: fraction of iterations where the bulk batch finished
+ *    before the background one - 0.0 when fairness holds.
+ */
+void
+BM_FrontierStarvation(benchmark::State &state)
+{
+    std::vector<Loop> bulk_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 2)
+        bulk_loops.push_back(suite()[i]);
+    std::vector<Loop> bg_loops;
+    for (std::size_t i = 0; i < suite().size(); i += 160)
+        bg_loops.push_back(suite()[i]);
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+
+    auto jobs = [&](const std::vector<Loop> &loops) {
+        std::vector<Frontier::Job> js(loops.size());
+        for (std::size_t i = 0; i < loops.size(); ++i)
+            js[i] = Frontier::Job{&loops[i].ddg, &m, nullptr};
+        return js;
+    };
+
+    TenantOptions bulk;
+    bulk.tenant = "bulk";
+    bulk.weight = 8.0;
+    bulk.priority = 10;
+    TenantOptions background;
+    background.tenant = "background";
+    background.weight = 1.0;
+
+    Frontier frontier;
+    double first_done_ms = 0;
+    double wait_ms = 0;
+    double starved = 0;
+    std::int64_t iterations = 0;
+    for (auto _ : state) {
+        auto heavy = frontier.submit(jobs(bulk_loops), bulk);
+        const auto t0 = std::chrono::steady_clock::now();
+        auto small = frontier.submit(jobs(bg_loops), background);
+        // Streaming consumer: latency to the first landed job...
+        benchmark::DoNotOptimize(small.nextDone());
+        const auto t1 = std::chrono::steady_clock::now();
+        // ...versus the batch waiter's latency to the last.
+        small.wait();
+        const auto t2 = std::chrono::steady_clock::now();
+        starved += heavy.status().done ? 1.0 : 0.0;
+        first_done_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        wait_ms +=
+            std::chrono::duration<double, std::milli>(t2 - t0).count();
+        ++iterations;
+        heavy.wait();
+    }
+    state.counters["bg_p99_ms"] =
+        frontier.statsFor("background").p99LatencyMs;
+    state.counters["bg_first_done_ms"] =
+        iterations ? first_done_ms / static_cast<double>(iterations)
+                   : 0.0;
+    state.counters["bg_wait_ms"] =
+        iterations ? wait_ms / static_cast<double>(iterations) : 0.0;
+    state.counters["starved"] =
+        iterations ? starved / static_cast<double>(iterations) : 0.0;
+    state.SetLabel(std::to_string(frontier.numWorkers()) +
+                   " workers, " + std::to_string(bulk_loops.size()) +
+                   " bulk (w=8,p=10) + " +
+                   std::to_string(bg_loops.size()) +
+                   " background (w=1) loops");
+}
+BENCHMARK(BM_FrontierStarvation)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
  * Result-cache hit path on the largest suite loop: key derivation
  * (three content digests over the graph, machine and options) plus
  * the locked lookup and the result copy-out. Compare against

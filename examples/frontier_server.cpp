@@ -1,21 +1,26 @@
 /**
  * @file
  * Multi-tenant serving demo for the frontier (eval/frontier.hh): N
- * concurrent tenants share one compile pool. A background tenant
- * keeps a full-suite sweep in flight at priority 0 while interactive
- * tenants fire small high-priority batches at it; one impatient
- * tenant cancels mid-batch. The printout shows what the frontier
- * buys: interactive latencies in the milliseconds while the
- * background sweep - which would have monopolized the old
- * one-batch-at-a-time service for its whole runtime - chugs along
- * and still finishes with exact results.
+ * concurrent tenants share one compile pool under weighted fair-share
+ * scheduling. A background tenant keeps a full-suite sweep in flight
+ * at weight 1 while interactive tenants fire small weight-4 batches
+ * at it; one impatient tenant cancels mid-batch, and the background
+ * tenant consumes its own completions as a stream (onJobDone) instead
+ * of blocking in wait(). The printout shows what the frontier buys:
+ * interactive latencies in the milliseconds while the background
+ * sweep - which would have monopolized the old one-batch-at-a-time
+ * service for its whole runtime - chugs along and still finishes with
+ * exact results, plus the per-tenant latency/throughput table the
+ * scheduler keeps (Frontier::tenantStats).
  *
  * Usage: frontier_server [tenants] [rounds]   (default 4 tenants x 3
  * rounds of 8-loop interactive batches)
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -74,15 +79,33 @@ main(int argc, char **argv)
               << tenants << " interactive tenants x " << rounds
               << " rounds\n\n";
 
-    // Tenant 0 (background): the whole suite at priority 0 - the job
-    // that used to starve everyone else out of the pool.
+    // Tenant "background": the whole suite at weight 1 - the job that
+    // used to starve everyone else out of the pool. Instead of
+    // blocking in wait(), it streams completions: the callback runs
+    // on the frontier's dispatcher thread, once per job, in
+    // completion order.
+    TenantOptions bg_opts;
+    bg_opts.tenant = "background";
+    bg_opts.weight = 1.0;
     const auto bg_start = std::chrono::steady_clock::now();
-    auto background = frontier.submit(jobsFor(suite, mach));
+    auto background = frontier.submit(jobsFor(suite, mach), bg_opts);
+    std::atomic<std::size_t> bg_streamed{0};
+    std::atomic<double> bg_first_ms{0.0};
+    background.onJobDone([&](const Frontier::JobView &view) {
+        if (bg_streamed.fetch_add(1) == 0)
+            bg_first_ms.store(msSince(bg_start));
+        (void)view;
+    });
 
-    // Interactive tenants: small urgent batches, one impatient.
+    // Interactive tenants: small urgent batches at 4x the background
+    // tenant's pool share, one impatient.
     std::vector<std::thread> clients;
     for (int t = 0; t < tenants; ++t) {
         clients.emplace_back([&, t]() {
+            TenantOptions opts;
+            opts.tenant = "tenant-" + std::to_string(t);
+            opts.weight = 4.0;
+            opts.priority = 10;
             // Each tenant works on its own slice of the suite.
             std::vector<Loop> slice;
             for (std::size_t i = static_cast<std::size_t>(t);
@@ -92,8 +115,8 @@ main(int argc, char **argv)
             }
             for (int round = 0; round < rounds; ++round) {
                 const auto t0 = std::chrono::steady_clock::now();
-                auto batch = frontier.submit(jobsFor(slice, mach),
-                                             /*priority=*/10);
+                auto batch =
+                    frontier.submit(jobsFor(slice, mach), opts);
                 if (t == 1 && round == 0) {
                     // The impatient tenant gives up immediately;
                     // in-flight jobs finish, the rest are dropped.
@@ -104,13 +127,18 @@ main(int argc, char **argv)
                         " jobs dropped) after ", msSince(t0), " ms");
                     continue;
                 }
+                // Poll the completion stream for the first landed job
+                // before waiting out the batch - time-to-first is the
+                // latency a streaming consumer would see.
+                batch.nextDone();
+                const double first_ms = msSince(t0);
                 batch.wait();
                 int ok = 0;
-                for (const CompileResult &r : batch.results())
-                    ok += r.ok ? 1 : 0;
+                for (std::size_t i = 0; i < batch.size(); ++i)
+                    ok += batch.job(i).outcome == JobOutcome::Ok;
                 say("tenant ", t, " round ", round, ": ", ok, "/",
                     slice.size(), " loops in ", msSince(t0),
-                    " ms (background ",
+                    " ms (first after ", first_ms, " ms, background ",
                     background.status().compiled, "/", suite.size(),
                     " done)");
             }
@@ -125,8 +153,26 @@ main(int argc, char **argv)
     for (const CompileResult &r : background.results())
         bg_ok += r.ok ? 1 : 0;
     std::cout << "\nbackground sweep: " << bg_ok << "/" << suite.size()
-              << " loops ok in " << msSince(bg_start) << " ms ("
+              << " loops ok in " << msSince(bg_start) << " ms (first "
+              << "streamed after " << bg_first_ms.load() << " ms, "
               << before.compiled
               << " were already done when the last tenant left)\n";
+
+    // The scheduler's own books: per-tenant latency and throughput.
+    std::cout << "\nper-tenant stats (Frontier::tenantStats):\n";
+    std::cout << std::left << std::setw(14) << "tenant"
+              << std::right << std::setw(7) << "weight"
+              << std::setw(6) << "ok" << std::setw(10) << "cancel"
+              << std::setw(10) << "p50 ms" << std::setw(10)
+              << "p99 ms" << std::setw(12) << "jobs/s" << "\n";
+    for (const TenantStats &ts : frontier.tenantStats()) {
+        std::cout << std::left << std::setw(14) << ts.tenant
+                  << std::right << std::fixed << std::setprecision(1)
+                  << std::setw(7) << ts.weight << std::setw(6)
+                  << ts.jobsOk << std::setw(10) << ts.jobsCancelled
+                  << std::setw(10) << ts.p50LatencyMs << std::setw(10)
+                  << ts.p99LatencyMs << std::setw(12)
+                  << ts.throughputJobsPerSec << "\n";
+    }
     return 0;
 }

@@ -60,14 +60,6 @@ clusterCapacityOk(const Ddg &ddg, const MachineConfig &mach,
 
 } // namespace
 
-CompileResult
-compile(const Ddg &original, const MachineConfig &mach,
-        const PipelineOptions &opts)
-{
-    CompileCaches caches;
-    return compile(original, mach, opts, caches);
-}
-
 namespace
 {
 
@@ -248,8 +240,17 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
 
 CompileResult
 compile(const Ddg &original, const MachineConfig &mach,
-        const PipelineOptions &opts, CompileCaches &caches)
+        const PipelineOptions &opts, CompileCaches *caches)
 {
+    if (caches == nullptr) {
+        // The canonical no-caches path: one long-lived scratch per
+        // thread, so repeated plain compile() calls amortize their
+        // buffer allocations exactly like a frontier worker does.
+        // Never quarantined - the (generation, config-id) memo keys
+        // make a stale hit impossible even after a throwing compile.
+        static thread_local CompileCaches tls_caches;
+        caches = &tls_caches;
+    }
     if (opts.resultCache != nullptr) {
         // Content-addressed route: serve a prior identical job's
         // result, join a concurrent identical compile, or compile
@@ -259,10 +260,10 @@ compile(const Ddg &original, const MachineConfig &mach,
         // take with their CompileCaches.
         return opts.resultCache->getOrCompute(
             makeResultCacheKey(original, mach, opts), [&] {
-                return compileImpl(original, mach, opts, caches);
+                return compileImpl(original, mach, opts, *caches);
             });
     }
-    return compileImpl(original, mach, opts, caches);
+    return compileImpl(original, mach, opts, *caches);
 }
 
 } // namespace cvliw

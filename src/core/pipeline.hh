@@ -155,8 +155,26 @@ struct CompileCaches
 };
 
 /**
- * Compile @p original for @p mach.
- * The input graph is copied; the caller's DDG is never modified.
+ * Compile @p original for @p mach. **The** canonical entry point of
+ * the pipeline - there is exactly one compile() - the historical
+ * by-reference caches overload collapsed into the optional trailing
+ * pointer. The input graph is copied; the caller's DDG is never
+ * modified.
+ *
+ * @p caches selects the scratch/memo state (see CompileCaches):
+ *
+ *  - **null (the default)**: a long-lived *thread-local* CompileCaches
+ *    is used, so plain `compile(ddg, mach)` callers amortize every
+ *    buffer allocation across calls on the same thread for free. The
+ *    thread-local state is never quarantined after a throwing
+ *    compile; that is safe because every memo inside is keyed on
+ *    (`Ddg::generation()`, `MachineConfig::id()`), so a later lookup
+ *    can never surface stale data (results stay bit-identical for
+ *    any cache state - the digest harness pins it).
+ *  - **non-null**: compile reuses exactly the caller's caches. Owners
+ *    that want the conservative quarantine contract (the frontier's
+ *    workers) discard and replace their caches after any throwing
+ *    compile, since a throw may have unwound a memo mid-update.
  *
  * With default options compile never throws for policy reasons: an
  * infeasible job returns `ok == false`. When @p opts arms a deadline
@@ -167,13 +185,6 @@ struct CompileCaches
  * catches both and turns them into structured per-job outcomes
  * (`TimedOut` / `Failed`); direct callers that arm either feature own
  * the catch.
- */
-CompileResult compile(const Ddg &original, const MachineConfig &mach,
-                      const PipelineOptions &opts = {});
-
-/**
- * Compile reusing @p caches (see CompileCaches). Bit-identical to the
- * cache-less overload for any cache state.
  *
  * When `opts.resultCache` is set the compile is routed through the
  * result cache: a content-identical prior result is returned without
@@ -184,17 +195,10 @@ CompileResult compile(const Ddg &original, const MachineConfig &mach,
  * the cache; when a dedup *leader* throws, joined callers receive the
  * propagated failure (DeadlineExceeded for a timed-out leader, a
  * std::runtime_error carrying the leader's message otherwise).
- *
- * If compile exits by throwing (deadline, injected fault, or a bug),
- * @p caches may hold a memo that was mid-update. Every memo is keyed
- * on (generation, config-id) so a *subsequent lookup* can still never
- * return wrong data, but the conservative contract - the one the
- * frontier's workers follow - is to quarantine: discard and replace
- * the caches after any throwing compile.
  */
 CompileResult compile(const Ddg &original, const MachineConfig &mach,
-                      const PipelineOptions &opts,
-                      CompileCaches &caches);
+                      const PipelineOptions &opts = {},
+                      CompileCaches *caches = nullptr);
 
 } // namespace cvliw
 

@@ -3,17 +3,38 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <deque>
+#include <map>
 #include <mutex>
 #include <stdexcept>
 
+#include "eval/metrics.hh"
 #include "support/deadline.hh"
 #include "support/faultpoint.hh"
 #include "support/logging.hh"
 
 namespace cvliw
 {
+
+namespace
+{
+
+/** Lvalue defaults for jobs submitted without options. */
+const PipelineOptions kDefaultPipelineOptions{};
+
+using Clock = std::chrono::steady_clock;
+
+double
+msBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+} // namespace
 
 const char *
 toString(JobOutcome outcome)
@@ -33,73 +54,26 @@ namespace detail
 {
 
 /**
- * Per-batch bookkeeping, shared (shared_ptr) between the frontier's
- * ready list, the workers running its jobs and every BatchHandle the
- * client copied. All fields except `results` are guarded by the
- * owning FrontierState's mutex; `results[i]` is written lock-free by
- * the one worker that claimed job i and read by clients only after
- * they observed `done` under the mutex (mutex release/acquire orders
- * the slot write before the read). `outcomes[i]`/`errors[i]` are
- * readable before `done` (outcome()/errorOf() have no done gate), so
- * they are written under the mutex.
+ * One tenant's fair-share account and serving record. Stored in the
+ * FrontierState's tenant map (node-based, so pointers handed to batch
+ * control blocks stay stable) and guarded by the state mutex.
  */
-struct BatchControl
+struct TenantState
 {
-    // Immutable after submit().
-    std::vector<Frontier::Job> jobs;
-    int priority = 0;
-    std::uint64_t seq = 0; //!< submission order, the priority tie-break
-    std::shared_ptr<FrontierState> state;
+    std::string name;
+    double weight = 1.0;
 
-    // Guarded by state->mutex.
-    std::size_t next = 0;     //!< next unclaimed job (FIFO in batch)
-    std::size_t inFlight = 0; //!< claimed, compile still running
-    std::size_t okCount = 0;       //!< jobs completed Ok
-    std::size_t failedCount = 0;   //!< jobs whose compile threw
-    std::size_t timedOutCount = 0; //!< jobs past deadline/budget
-    std::size_t droppedCount = 0;  //!< jobs dropped by cancel()
-    bool cancelled = false;
-    bool rejected = false; //!< whole batch refused by admission
-    bool done = false;
+    /**
+     * Virtual time: cost served so far / weight. Workers claim from
+     * the ready tenant with the smallest value, which is exactly
+     * weighted fair share (see the header's scheduling-model notes).
+     */
+    double vtime = 0.0;
 
-    std::vector<CompileResult> results;
-    std::vector<char> ran;            //!< 1 = completed Ok
-    std::vector<JobOutcome> outcomes; //!< per-job terminal state
-    std::vector<std::string> errors;  //!< why a job is not Ok
+    /** Batches of this tenant currently in the ready list. */
+    std::size_t readyBatches = 0;
 
-    bool exhausted() const
-    {
-        return cancelled || next >= jobs.size();
-    }
-
-    /** Jobs that reached a terminal state via a worker. */
-    std::size_t terminalViaWorker() const
-    {
-        return okCount + failedCount + timedOutCount;
-    }
-};
-
-/**
- * Everything the workers and the batch handles synchronize on. Held
- * by shared_ptr from the Frontier *and* every BatchControl, so a
- * handle can keep waiting/cancelling safely after the frontier object
- * is gone (by then the destructor has drained every batch, so those
- * calls return immediately - but they must not touch a dead mutex).
- * The serving counters live here too: a handle that outlives the
- * frontier keeps them consistent through its own cancel() calls.
- */
-struct FrontierState
-{
-    std::mutex mutex;
-    std::condition_variable workCv;  //!< workers: ready work or stop
-    std::condition_variable doneCv;  //!< clients: some batch completed
-    std::condition_variable admitCv; //!< blocked submitters: room freed
-    bool stopping = false;
-    std::uint64_t seqCounter = 0;
-
-    FrontierLimits limits;
-
-    // Serving counters (FrontierStats), guarded by mutex.
+    // Serving counters, mirroring FrontierStats per tenant.
     std::uint64_t batchesSubmitted = 0;
     std::uint64_t batchesRejected = 0;
     std::uint64_t jobsSubmitted = 0;
@@ -108,43 +82,201 @@ struct FrontierState
     std::uint64_t jobsTimedOut = 0;
     std::uint64_t jobsCancelled = 0;
     std::uint64_t jobsRejected = 0;
-    std::size_t pendingJobs = 0; //!< admitted, not yet terminal
+    std::uint64_t jobsShed = 0;
+    std::size_t pendingJobs = 0;
+    std::uint64_t pendingCost = 0;
+
+    /** submit-to-terminal latency of Ok jobs (TenantStats p50/p99). */
+    LatencyHistogram latency;
+
+    bool sawSubmit = false;
+    Clock::time_point firstSubmit; //!< throughput window start
+    Clock::time_point lastTerminal; //!< throughput window end
+};
+
+/**
+ * Per-batch bookkeeping, shared (shared_ptr) between the frontier's
+ * ready list, the workers running its jobs, the dispatcher delivering
+ * its callbacks and every BatchHandle the client copied. All fields
+ * except `results` are guarded by the owning FrontierState's mutex;
+ * `results[i]` is written lock-free by the one worker that claimed
+ * job i and read by clients only after they observed the job's
+ * terminal outcome (or `done`) under the mutex - the release/acquire
+ * pair orders the slot write before the read.
+ */
+struct BatchControl
+{
+    // Immutable after submit().
+    std::vector<Frontier::Job> jobs;
+    std::string tenantName;
+    TenantState *tenant = nullptr; //!< into FrontierState::tenants
+    int priority = 0;
+    std::uint64_t seq = 0; //!< submission order, the final tie-break
+    std::shared_ptr<FrontierState> state;
+    Clock::time_point submitTime;
+    std::vector<std::uint64_t> costs; //!< per-job estimated cost
+
+    // Guarded by state->mutex.
+    std::size_t claimLimit = 0; //!< admitted prefix; the rest is shed
+    std::size_t next = 0;     //!< next unclaimed job (FIFO in batch)
+    std::size_t inFlight = 0; //!< claimed, compile still running
+    std::size_t okCount = 0;       //!< jobs completed Ok
+    std::size_t failedCount = 0;   //!< jobs whose compile threw
+    std::size_t timedOutCount = 0; //!< jobs past deadline/budget
+    std::size_t droppedCount = 0;  //!< jobs dropped by cancel()
+    std::size_t rejectedCount = 0; //!< jobs refused/shed by admission
+    bool cancelled = false;
+    bool done = false;
+
+    std::vector<CompileResult> results;
+    std::vector<JobOutcome> outcomes; //!< per-job terminal state
+    std::vector<std::string> errors;  //!< why a job is not Ok
+
+    // Streaming (guarded by state->mutex; the callback itself is
+    // set-once and invoked unlocked once set).
+    Frontier::JobCallback callback;
+    std::vector<std::size_t> doneOrder; //!< completion log (indices)
+    std::size_t cbNext = 0;   //!< next doneOrder entry to dispatch
+    std::size_t pollNext = 0; //!< next doneOrder entry for nextDone()
+    bool inDispatchQueue = false;
+
+    bool exhausted() const
+    {
+        return cancelled || next >= claimLimit;
+    }
+};
+
+/**
+ * Everything the workers, the dispatcher and the batch handles
+ * synchronize on. Held by shared_ptr from the Frontier *and* every
+ * BatchControl, so a handle can keep waiting/cancelling/polling
+ * safely after the frontier object is gone (by then the destructor
+ * has drained every batch and delivered every callback - but those
+ * calls must not touch a dead mutex). The serving counters and the
+ * tenant table live here too: a handle that outlives the frontier
+ * keeps them consistent through its own cancel() calls.
+ */
+struct FrontierState
+{
+    std::mutex mutex;
+    std::condition_variable workCv;  //!< workers: ready work or stop
+    std::condition_variable doneCv;  //!< clients: job/batch completed
+    std::condition_variable admitCv; //!< blocked submitters: room freed
+    std::condition_variable dispatchCv; //!< dispatcher: deliveries due
+    bool stopping = false;           //!< workers: drain and exit
+    bool dispatcherStopping = false; //!< dispatcher: drain and exit
+    bool dispatcherRunning = false;  //!< false = deliver synchronously
+    std::uint64_t seqCounter = 0;
+
+    FrontierLimits limits;
+
+    /** Global virtual clock: the largest tenant vtime ever served. */
+    double vnow = 0.0;
+
+    /**
+     * The fair-share accounts, one per tenant name ever seen. A
+     * std::map for pointer stability (BatchControl::tenant points in
+     * here) and deterministic name-ordered tenantStats().
+     */
+    std::map<std::string, TenantState> tenants;
+
+    // Aggregate serving counters (FrontierStats), guarded by mutex.
+    std::uint64_t batchesSubmitted = 0;
+    std::uint64_t batchesRejected = 0;
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsOk = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t jobsTimedOut = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t jobsRejected = 0;
+    std::uint64_t jobsShed = 0;
+    std::size_t pendingJobs = 0;   //!< admitted, not yet terminal
+    std::uint64_t pendingCost = 0; //!< their summed estimated cost
+    std::size_t blockedJobs = 0;   //!< parked in Block-policy submits
 
     /**
      * The frontier proper: every batch that still has unclaimed jobs,
      * in submission order. Claim-time selection scans for the best
-     * (priority, then seq) entry - O(batches in flight) per claim,
-     * which is noise next to a compile job, and keeps insertion,
-     * cancellation and exhaustion all O(1)-ish with no heap to rebalance.
+     * (tenant vtime, then priority, then seq) entry - O(batches in
+     * flight) per claim, which is noise next to a compile job, and
+     * keeps insertion, cancellation and exhaustion all O(1)-ish with
+     * no heap to rebalance.
      */
     std::vector<std::shared_ptr<BatchControl>> ready;
 
-    /** Drop @p ctl from the ready list (claim-exhausted or cancelled). */
+    /** Batches with completions to deliver, in enqueue order. */
+    std::deque<std::shared_ptr<BatchControl>> dispatchQueue;
+
+    /** The fair-share account for @p name, created on first sight. */
+    TenantState &tenantFor(const std::string &name)
+    {
+        auto it = tenants.find(name);
+        if (it == tenants.end()) {
+            it = tenants.emplace(name, TenantState{}).first;
+            it->second.name = name;
+        }
+        return it->second;
+    }
+
+    /**
+     * Drop @p ctl from the ready list (claim-exhausted or cancelled)
+     * and retire it from its tenant's active count.
+     */
     void unqueue(const BatchControl *ctl)
     {
         for (std::size_t i = 0; i < ready.size(); ++i) {
             if (ready[i].get() == ctl) {
                 ready.erase(ready.begin() +
                             static_cast<std::ptrdiff_t>(i));
+                --ctl->tenant->readyBatches;
                 return;
             }
         }
     }
 
     /**
-     * Highest-priority batch with unclaimed jobs; ties go to the
-     * earliest submission. Null when the frontier is empty. Returned
-     * as shared ownership so the claiming worker can hold the control
-     * block across its unlocked compile (cancel() may drop the batch
-     * from `ready`, its only other owner besides client handles).
+     * Put @p ctl on the ready list. On its tenant's idle-to-active
+     * transition, clamp the tenant's virtual time to the global clock
+     * minus the configured aging credit: a long-idle tenant may not
+     * bank unbounded catch-up service (see FrontierLimits).
+     */
+    void enqueue(const std::shared_ptr<BatchControl> &ctl)
+    {
+        TenantState &t = *ctl->tenant;
+        if (t.readyBatches == 0) {
+            const double credit =
+                static_cast<double>(limits.agingCreditCost) /
+                t.weight;
+            t.vtime = std::max(t.vtime, vnow - credit);
+        }
+        ++t.readyBatches;
+        ready.push_back(ctl);
+    }
+
+    /**
+     * The batch to claim from next: smallest tenant virtual time
+     * (weighted fair share across tenants), then highest priority,
+     * then earliest submission (the legacy order within a tenant -
+     * one tenant's batches always tie on vtime). Null when the
+     * frontier is empty. Returned as shared ownership so the claiming
+     * worker can hold the control block across its unlocked compile
+     * (cancel() may drop the batch from `ready`, its only other owner
+     * besides client handles).
      */
     std::shared_ptr<BatchControl> best() const
     {
         std::shared_ptr<BatchControl> pick;
         for (const auto &ctl : ready) {
-            if (!pick || ctl->priority > pick->priority ||
-                (ctl->priority == pick->priority &&
-                 ctl->seq < pick->seq)) {
+            if (!pick) {
+                pick = ctl;
+                continue;
+            }
+            const double a = ctl->tenant->vtime;
+            const double b = pick->tenant->vtime;
+            if (a < b || (a == b &&
+                          (ctl->priority > pick->priority ||
+                           (ctl->priority == pick->priority &&
+                            ctl->seq < pick->seq)))) {
                 pick = ctl;
             }
         }
@@ -154,7 +286,8 @@ struct FrontierState
     /** A terminal job freed queue room; wake blocked submitters. */
     void admitRoomFreed()
     {
-        if (limits.maxPendingJobs != 0 &&
+        if ((limits.maxPendingJobs != 0 ||
+             limits.maxPendingCost != 0) &&
             limits.policy == AdmissionPolicy::Block) {
             admitCv.notify_all();
         }
@@ -172,12 +305,123 @@ finishBatch(BatchControl &ctl)
     ctl.state->doneCv.notify_all();
 }
 
+/**
+ * One job's snapshot for job(i) / the streaming callbacks. Caller
+ * holds the mutex (which also orders the worker's lock-free result
+ * write before this read - the outcome was set under the mutex after
+ * the slot write).
+ */
+Frontier::JobView
+makeView(const BatchControl &ctl, std::size_t i)
+{
+    Frontier::JobView v;
+    v.index = i;
+    v.outcome = ctl.outcomes[i];
+    v.error = ctl.errors[i];
+    v.result = v.outcome == JobOutcome::Pending ? nullptr
+                                                : &ctl.results[i];
+    return v;
+}
+
+/**
+ * Hand @p ctl to the dispatcher if it has a callback and undelivered
+ * completions. Caller holds the mutex. Idempotent while queued.
+ */
+void
+scheduleDispatch(FrontierState &st,
+                 const std::shared_ptr<BatchControl> &ctl)
+{
+    if (!ctl->callback || ctl->inDispatchQueue ||
+        ctl->cbNext >= ctl->doneOrder.size()) {
+        return;
+    }
+    st.dispatchQueue.push_back(ctl);
+    ctl->inDispatchQueue = true;
+    st.dispatchCv.notify_one();
+}
+
+/**
+ * Invoke @p ctl's callback for one JobView, unlocked, with the
+ * exception boundary the header promises: a throwing callback (or an
+ * injected frontier.dispatch fault) is caught and logged, and later
+ * deliveries are unaffected. @p lock is held on entry and exit.
+ */
+void
+deliverOne(std::unique_lock<std::mutex> &lock, BatchControl &ctl,
+           const Frontier::JobView &view)
+{
+    lock.unlock();
+    try {
+        ctl.callback(view);
+        // The injection point models a crashing consumer: it throws
+        // *after* the callback ran, so exactly-once delivery is
+        // preserved and the catch below is what gets exercised.
+        faults::point("frontier.dispatch");
+    } catch (const std::exception &err) {
+        cv_warn("frontier completion callback threw: ", err.what());
+    } catch (...) {
+        cv_warn("frontier completion callback threw a non-standard "
+                "exception");
+    }
+    lock.lock();
+}
+
+/**
+ * Book one worker-produced terminal outcome for job @p i of @p ctl
+ * into the batch, the aggregate counters and the tenant's record,
+ * then stream it. Caller holds the mutex.
+ */
+void
+recordTerminal(FrontierState &st,
+               const std::shared_ptr<BatchControl> &ctl,
+               std::size_t i, JobOutcome outcome, std::string error)
+{
+    BatchControl &c = *ctl;
+    TenantState &t = *c.tenant;
+    c.outcomes[i] = outcome;
+    c.errors[i] = std::move(error);
+    switch (outcome) {
+    case JobOutcome::Ok:
+        ++c.okCount;
+        ++st.jobsOk;
+        ++t.jobsOk;
+        t.latency.record(msBetween(c.submitTime, Clock::now()));
+        break;
+    case JobOutcome::TimedOut:
+        ++c.timedOutCount;
+        ++st.jobsTimedOut;
+        ++t.jobsTimedOut;
+        break;
+    default:
+        ++c.failedCount;
+        ++st.jobsFailed;
+        ++t.jobsFailed;
+        break;
+    }
+    t.lastTerminal = Clock::now();
+    --c.inFlight;
+    --st.pendingJobs;
+    st.pendingCost -= c.costs[i];
+    --t.pendingJobs;
+    t.pendingCost -= c.costs[i];
+    st.admitRoomFreed();
+    c.doneOrder.push_back(i);
+    st.doneCv.notify_all(); // nextDone() pollers wake per job
+    scheduleDispatch(st, ctl);
+    // Completion is per batch: done when no claimable job remains
+    // (all claimed, or the rest were dropped by cancel) and the last
+    // in-flight job - this one - has landed.
+    if (c.exhausted() && c.inFlight == 0 && !c.done)
+        finishBatch(c);
+}
+
 } // namespace
 
 } // namespace detail
 
 using detail::BatchControl;
 using detail::FrontierState;
+using detail::TenantState;
 
 // --- BatchHandle -----------------------------------------------------
 
@@ -200,6 +444,13 @@ Frontier::BatchHandle::size() const
 {
     cv_assert(ctl_, "empty batch handle");
     return ctl_->jobs.size();
+}
+
+const std::string &
+Frontier::BatchHandle::tenant() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    return ctl_->tenantName;
 }
 
 int
@@ -229,9 +480,74 @@ Frontier::BatchHandle::status() const
     s.failed = ctl_->failedCount;
     s.timedOut = ctl_->timedOutCount;
     s.dropped = ctl_->droppedCount;
-    s.rejected = ctl_->rejected ? ctl_->jobs.size() : 0;
+    s.rejected = ctl_->rejectedCount;
     s.total = ctl_->jobs.size();
     return s;
+}
+
+Frontier::JobView
+Frontier::BatchHandle::job(std::size_t i) const
+{
+    cv_assert(ctl_, "empty batch handle");
+    if (i >= ctl_->jobs.size()) {
+        throw std::out_of_range(detail::concat(
+            "batch job index ", i, " out of range (batch has ",
+            ctl_->jobs.size(), " jobs)"));
+    }
+    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
+    return detail::makeView(*ctl_, i);
+}
+
+void
+Frontier::BatchHandle::onJobDone(JobCallback cb) const
+{
+    cv_assert(ctl_, "empty batch handle");
+    cv_assert(cb, "null onJobDone callback");
+    BatchControl &ctl = *ctl_;
+    FrontierState &st = *ctl.state;
+    std::unique_lock<std::mutex> lock(st.mutex);
+    cv_assert(!ctl.callback,
+              "batch already has an onJobDone callback");
+    ctl.callback = std::move(cb);
+    if (st.dispatcherRunning) {
+        // Jobs already terminal replay through the dispatcher like
+        // any fresh completion (registration order vs completion
+        // order is invisible to the consumer).
+        detail::scheduleDispatch(st, ctl_);
+        return;
+    }
+    // Frontier already destroyed: its destructor drained the batch,
+    // so everything is terminal - deliver synchronously right here.
+    while (ctl.cbNext < ctl.doneOrder.size()) {
+        const std::size_t idx = ctl.doneOrder[ctl.cbNext++];
+        const JobView view = detail::makeView(ctl, idx);
+        detail::deliverOne(lock, ctl, view);
+    }
+}
+
+std::optional<std::size_t>
+Frontier::BatchHandle::nextDone() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    BatchControl &ctl = *ctl_;
+    std::unique_lock<std::mutex> lock(ctl.state->mutex);
+    ctl.state->doneCv.wait(lock, [&] {
+        return ctl.pollNext < ctl.doneOrder.size() || ctl.done;
+    });
+    if (ctl.pollNext < ctl.doneOrder.size())
+        return ctl.doneOrder[ctl.pollNext++];
+    return std::nullopt; // done and fully consumed
+}
+
+std::optional<std::size_t>
+Frontier::BatchHandle::tryNextDone() const
+{
+    cv_assert(ctl_, "empty batch handle");
+    BatchControl &ctl = *ctl_;
+    std::lock_guard<std::mutex> lock(ctl.state->mutex);
+    if (ctl.pollNext < ctl.doneOrder.size())
+        return ctl.doneOrder[ctl.pollNext++];
+    return std::nullopt;
 }
 
 const std::vector<CompileResult> *
@@ -262,45 +578,6 @@ Frontier::BatchHandle::take()
     return std::move(ctl_->results);
 }
 
-bool
-Frontier::BatchHandle::ran(std::size_t i) const
-{
-    cv_assert(ctl_, "empty batch handle");
-    if (i >= ctl_->jobs.size()) {
-        throw std::out_of_range(detail::concat(
-            "batch job index ", i, " out of range (batch has ",
-            ctl_->jobs.size(), " jobs)"));
-    }
-    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
-    return ctl_->ran[i] != 0;
-}
-
-JobOutcome
-Frontier::BatchHandle::outcome(std::size_t i) const
-{
-    cv_assert(ctl_, "empty batch handle");
-    if (i >= ctl_->jobs.size()) {
-        throw std::out_of_range(detail::concat(
-            "batch job index ", i, " out of range (batch has ",
-            ctl_->jobs.size(), " jobs)"));
-    }
-    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
-    return ctl_->outcomes[i];
-}
-
-std::string
-Frontier::BatchHandle::errorOf(std::size_t i) const
-{
-    cv_assert(ctl_, "empty batch handle");
-    if (i >= ctl_->jobs.size()) {
-        throw std::out_of_range(detail::concat(
-            "batch job index ", i, " out of range (batch has ",
-            ctl_->jobs.size(), " jobs)"));
-    }
-    std::lock_guard<std::mutex> lock(ctl_->state->mutex);
-    return ctl_->errors[i];
-}
-
 std::size_t
 Frontier::BatchHandle::cancel() const
 {
@@ -310,14 +587,29 @@ Frontier::BatchHandle::cancel() const
     if (ctl.done || ctl.cancelled)
         return 0; // idempotent; finished batches are left intact
     ctl.cancelled = true;
-    const std::size_t dropped = ctl.jobs.size() - ctl.next;
+    FrontierState &st = *ctl.state;
+    TenantState &t = *ctl.tenant;
+    const std::size_t dropped = ctl.claimLimit - ctl.next;
     ctl.droppedCount = dropped;
-    for (std::size_t i = ctl.next; i < ctl.jobs.size(); ++i)
+    std::uint64_t dropped_cost = 0;
+    for (std::size_t i = ctl.next; i < ctl.claimLimit; ++i) {
         ctl.outcomes[i] = JobOutcome::Cancelled;
-    ctl.state->unqueue(&ctl);
-    ctl.state->jobsCancelled += dropped;
-    ctl.state->pendingJobs -= dropped;
-    ctl.state->admitRoomFreed();
+        dropped_cost += ctl.costs[i];
+        ctl.doneOrder.push_back(i);
+    }
+    st.unqueue(&ctl);
+    st.jobsCancelled += dropped;
+    st.pendingJobs -= dropped;
+    st.pendingCost -= dropped_cost;
+    t.jobsCancelled += dropped;
+    t.pendingJobs -= dropped;
+    t.pendingCost -= dropped_cost;
+    if (dropped > 0) {
+        t.lastTerminal = Clock::now();
+        st.doneCv.notify_all();
+        detail::scheduleDispatch(st, ctl_);
+    }
+    st.admitRoomFreed();
     // In-flight jobs finish cooperatively; the last one completes the
     // batch. With nothing in flight the batch is done right here.
     if (ctl.inFlight == 0)
@@ -364,6 +656,8 @@ Frontier::Frontier(int workers, FrontierLimits limits)
         caches_.push_back(std::make_unique<CompileCaches>());
     workers_.reserve(static_cast<std::size_t>(workers));
     try {
+        state_->dispatcherRunning = true;
+        dispatcher_ = std::thread([this]() { dispatcherMain(); });
         for (int w = 0; w < workers; ++w) {
             workers_.emplace_back([this, w]() {
                 workerMain(static_cast<std::size_t>(w));
@@ -371,14 +665,18 @@ Frontier::Frontier(int workers, FrontierLimits limits)
         }
     } catch (...) {
         // Thread spawn failed (resource exhaustion): shut down the
-        // workers that did start, then let the caller see the error.
+        // threads that did start, then let the caller see the error.
         {
             std::lock_guard<std::mutex> lock(state_->mutex);
             state_->stopping = true;
+            state_->dispatcherStopping = true;
         }
         state_->workCv.notify_all();
+        state_->dispatchCv.notify_all();
         for (auto &t : workers_)
             t.join();
+        if (dispatcher_.joinable())
+            dispatcher_.join();
         throw;
     }
 }
@@ -398,6 +696,16 @@ Frontier::~Frontier()
     state_->workCv.notify_all();
     for (auto &t : workers_)
         t.join();
+    // Workers are gone, so every completion is already enqueued; the
+    // dispatcher drains its queue before exiting, making the "every
+    // registered callback fires exactly once per job" promise hold
+    // across destruction.
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->dispatcherStopping = true;
+    }
+    state_->dispatchCv.notify_all();
+    dispatcher_.join();
 }
 
 FrontierStats
@@ -414,8 +722,118 @@ Frontier::stats() const
     s.jobsTimedOut = st.jobsTimedOut;
     s.jobsCancelled = st.jobsCancelled;
     s.jobsRejected = st.jobsRejected;
+    s.jobsShed = st.jobsShed;
     s.pendingJobs = st.pendingJobs;
+    s.pendingCost = st.pendingCost;
+    s.blockedJobs = st.blockedJobs;
     return s;
+}
+
+namespace
+{
+
+/** Fill one TenantStats snapshot. Caller holds the state mutex. */
+TenantStats
+snapshotTenant(const TenantState &t)
+{
+    TenantStats out;
+    out.tenant = t.name;
+    out.weight = t.weight;
+    out.batchesSubmitted = t.batchesSubmitted;
+    out.batchesRejected = t.batchesRejected;
+    out.jobsSubmitted = t.jobsSubmitted;
+    out.jobsOk = t.jobsOk;
+    out.jobsFailed = t.jobsFailed;
+    out.jobsTimedOut = t.jobsTimedOut;
+    out.jobsCancelled = t.jobsCancelled;
+    out.jobsRejected = t.jobsRejected;
+    out.jobsShed = t.jobsShed;
+    out.pendingJobs = t.pendingJobs;
+    out.pendingCost = t.pendingCost;
+    out.p50LatencyMs = t.latency.quantile(0.50);
+    out.p99LatencyMs = t.latency.quantile(0.99);
+    if (t.jobsOk > 0) {
+        const double window_s =
+            std::chrono::duration<double>(t.lastTerminal -
+                                          t.firstSubmit)
+                .count();
+        if (window_s > 0.0) {
+            out.throughputJobsPerSec =
+                static_cast<double>(t.jobsOk) / window_s;
+        }
+    }
+    if (t.jobsSubmitted > 0) {
+        out.cancelRate = static_cast<double>(t.jobsCancelled) /
+                         static_cast<double>(t.jobsSubmitted);
+    }
+    const std::uint64_t asked =
+        t.jobsSubmitted + t.jobsRejected + t.jobsShed;
+    if (asked > 0) {
+        out.rejectRate =
+            static_cast<double>(t.jobsRejected + t.jobsShed) /
+            static_cast<double>(asked);
+    }
+    return out;
+}
+
+} // namespace
+
+TenantStats
+Frontier::statsFor(const std::string &tenant) const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    const auto it = state_->tenants.find(tenant);
+    if (it == state_->tenants.end()) {
+        TenantStats out;
+        out.tenant = tenant;
+        return out;
+    }
+    return snapshotTenant(it->second);
+}
+
+std::vector<TenantStats>
+Frontier::tenantStats() const
+{
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    std::vector<TenantStats> out;
+    out.reserve(state_->tenants.size());
+    for (const auto &entry : state_->tenants)
+        out.push_back(snapshotTenant(entry.second));
+    return out;
+}
+
+void
+Frontier::dispatcherMain()
+{
+    FrontierState &st = *state_;
+    std::unique_lock<std::mutex> lock(st.mutex);
+    while (true) {
+        st.dispatchCv.wait(lock, [&] {
+            return st.dispatcherStopping || !st.dispatchQueue.empty();
+        });
+        if (st.dispatchQueue.empty()) {
+            if (st.dispatcherStopping) {
+                // Late onJobDone registrations deliver synchronously
+                // from here on.
+                st.dispatcherRunning = false;
+                return;
+            }
+            continue;
+        }
+        const std::shared_ptr<BatchControl> ctl =
+            st.dispatchQueue.front();
+        st.dispatchQueue.pop_front();
+        ctl->inDispatchQueue = false;
+        // Deliver this batch's backlog in completion order. The
+        // cursor advances under the mutex *before* the unlocked
+        // invocation, so a throwing callback (or injected dispatch
+        // fault) can never double-deliver.
+        while (ctl->cbNext < ctl->doneOrder.size()) {
+            const std::size_t idx = ctl->doneOrder[ctl->cbNext++];
+            const JobView view = detail::makeView(*ctl, idx);
+            detail::deliverOne(lock, *ctl, view);
+        }
+    }
 }
 
 void
@@ -433,17 +851,22 @@ Frontier::workerMain(std::size_t worker_index)
             continue;
         }
 
-        // Claim under the lock: pick the most urgent batch, take its
-        // next job FIFO, deregister the batch once fully claimed. The
+        // Claim under the lock: pick the fair-share winner, take its
+        // next job FIFO, charge the job's cost to the tenant's
+        // virtual time, deregister the batch once fully claimed. The
         // claim is ~100ns of bookkeeping against a compile job of
         // tens of microseconds to milliseconds, so contention here is
         // noise - and one mutex keeps claim/cancel/complete and the
-        // priority scan trivially race-free (the TSan job agrees).
+        // fair-share scan trivially race-free (the TSan job agrees).
         // best() hands over shared ownership, keeping the control
         // block alive across the unlocked compile below.
         const std::shared_ptr<BatchControl> ctl = st.best();
         const std::size_t i = ctl->next++;
         ++ctl->inFlight;
+        TenantState &t = *ctl->tenant;
+        t.vtime += static_cast<double>(ctl->costs[i]) / t.weight;
+        if (t.vtime > st.vnow)
+            st.vnow = t.vtime;
         if (ctl->exhausted())
             st.unqueue(ctl.get());
 
@@ -462,10 +885,10 @@ Frontier::workerMain(std::size_t worker_index)
         CompileResult res;
         try {
             faults::point("frontier.claim");
-            CompileCaches &caches = *caches_[worker_index];
-            res = job.opts
-                      ? compile(*job.ddg, *job.mach, *job.opts, caches)
-                      : compile(*job.ddg, *job.mach, {}, caches);
+            res = compile(*job.ddg, *job.mach,
+                          job.opts ? *job.opts
+                                   : kDefaultPipelineOptions,
+                          caches_[worker_index].get());
             faults::point("frontier.complete");
         } catch (const DeadlineExceeded &err) {
             outcome = JobOutcome::TimedOut;
@@ -498,36 +921,13 @@ Frontier::workerMain(std::size_t worker_index)
         ctl->results[i] = std::move(res);
 
         lock.lock();
-        ctl->outcomes[i] = outcome;
-        ctl->errors[i] = std::move(error);
-        switch (outcome) {
-        case JobOutcome::Ok:
-            ctl->ran[i] = 1;
-            ++ctl->okCount;
-            ++st.jobsOk;
-            break;
-        case JobOutcome::TimedOut:
-            ++ctl->timedOutCount;
-            ++st.jobsTimedOut;
-            break;
-        default:
-            ++ctl->failedCount;
-            ++st.jobsFailed;
-            break;
-        }
-        --ctl->inFlight;
-        --st.pendingJobs;
-        st.admitRoomFreed();
-        // Completion is per batch: done when no claimable job remains
-        // (all claimed, or the rest were dropped by cancel) and the
-        // last in-flight job - this one - has landed.
-        if (ctl->exhausted() && ctl->inFlight == 0 && !ctl->done)
-            detail::finishBatch(*ctl);
+        detail::recordTerminal(st, ctl, i, outcome,
+                               std::move(error));
     }
 }
 
 Frontier::BatchHandle
-Frontier::submit(std::vector<Job> jobs, int priority)
+Frontier::submit(std::vector<Job> jobs, const TenantOptions &tenant)
 {
     for (const Job &job : jobs) {
         cv_assert(job.ddg && job.mach,
@@ -536,58 +936,163 @@ Frontier::submit(std::vector<Job> jobs, int priority)
 
     auto ctl = std::make_shared<BatchControl>();
     ctl->jobs = std::move(jobs);
-    ctl->priority = priority;
+    ctl->tenantName = tenant.tenant;
+    ctl->priority = tenant.priority;
     ctl->state = state_;
     const std::size_t n = ctl->jobs.size();
     ctl->results.resize(n);
-    ctl->ran.assign(n, 0);
     ctl->outcomes.assign(n, JobOutcome::Pending);
     ctl->errors.resize(n);
+    ctl->costs.reserve(n);
+    std::uint64_t batch_cost = 0;
+    for (const Job &job : ctl->jobs) {
+        // The admission/fair-share cost estimate: graph size tracks
+        // compile time closely enough to bound queue *time*, and it
+        // is known before any work happens.
+        const std::uint64_t cost = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(job.ddg->numNodes()));
+        ctl->costs.push_back(cost);
+        batch_cost += cost;
+    }
 
     {
         std::unique_lock<std::mutex> lock(state_->mutex);
         FrontierState &st = *state_;
-        const std::size_t cap = st.limits.maxPendingJobs;
-        if (cap != 0 && n > 0 && st.pendingJobs + n > cap) {
+        TenantState &t = st.tenantFor(tenant.tenant);
+        t.weight = tenant.weight > 0.0 ? tenant.weight : 1.0;
+        ctl->tenant = &t;
+        ctl->submitTime = Clock::now();
+        if (!t.sawSubmit) {
+            t.sawSubmit = true;
+            t.firstSubmit = ctl->submitTime;
+        }
+
+        const std::size_t cap_jobs = st.limits.maxPendingJobs;
+        const std::uint64_t cap_cost = st.limits.maxPendingCost;
+        const auto fits = [&](std::size_t k, std::uint64_t kcost) {
+            return (cap_jobs == 0 ||
+                    st.pendingJobs + k <= cap_jobs) &&
+                   (cap_cost == 0 ||
+                    st.pendingCost + kcost <= cap_cost);
+        };
+
+        // Books one admitted prefix of k jobs (cost kcost) and, when
+        // non-empty, queues the batch for claiming.
+        const auto admit = [&](std::size_t k, std::uint64_t kcost) {
+            ctl->seq = st.seqCounter++;
+            ctl->claimLimit = k;
+            ++st.batchesSubmitted;
+            ++t.batchesSubmitted;
+            st.jobsSubmitted += k;
+            t.jobsSubmitted += k;
+            st.pendingJobs += k;
+            st.pendingCost += kcost;
+            t.pendingJobs += k;
+            t.pendingCost += kcost;
+            if (k > 0)
+                st.enqueue(ctl);
+        };
+
+        if (n > 0 && !fits(n, batch_cost)) {
+            if (tenant.allowPartial) {
+                // Partial shed: admit the longest prefix that fits
+                // both caps; everything past it lands Rejected right
+                // here. When nothing is pending even an oversized
+                // first job is admitted - the progress guarantee.
+                std::size_t k = 0;
+                std::uint64_t kcost = 0;
+                while (k < n && fits(k + 1, kcost + ctl->costs[k])) {
+                    kcost += ctl->costs[k];
+                    ++k;
+                }
+                if (k == 0 && st.pendingJobs == 0) {
+                    k = 1;
+                    kcost = ctl->costs[0];
+                }
+                admit(k, kcost);
+                const std::size_t shed = n - k;
+                const std::string reason = detail::concat(
+                    "admission control: shed ", shed, " of ", n,
+                    " jobs (", k, " admitted under cap)");
+                for (std::size_t i = k; i < n; ++i) {
+                    ctl->outcomes[i] = JobOutcome::Rejected;
+                    ctl->errors[i] = reason;
+                    ctl->doneOrder.push_back(i);
+                }
+                ctl->rejectedCount = shed;
+                st.jobsShed += shed;
+                t.jobsShed += shed;
+                if (k == 0) {
+                    // Everything shed: the batch is born complete.
+                    detail::finishBatch(*ctl);
+                    return BatchHandle(std::move(ctl));
+                }
+                lock.unlock();
+                state_->workCv.notify_all();
+                return BatchHandle(std::move(ctl));
+            }
             if (st.limits.policy == AdmissionPolicy::Reject) {
                 // Fast-fail: the batch never queues, the handle is
                 // born complete, and the caller learns why per job.
                 ctl->seq = st.seqCounter++;
-                ctl->rejected = true;
-                const std::string reason = detail::concat(
-                    "admission control: queue full (", st.pendingJobs,
-                    " pending + ", n, " submitted > cap ", cap, ")");
+                ctl->rejectedCount = n;
+                const bool over_jobs =
+                    cap_jobs != 0 && st.pendingJobs + n > cap_jobs;
+                const std::string reason =
+                    over_jobs
+                        ? detail::concat(
+                              "admission control: queue full (",
+                              st.pendingJobs, " pending + ", n,
+                              " submitted > cap ", cap_jobs, ")")
+                        : detail::concat(
+                              "admission control: queue cost full (",
+                              st.pendingCost, " pending + ",
+                              batch_cost, " submitted > cap ",
+                              cap_cost, ")");
                 for (std::size_t i = 0; i < n; ++i) {
                     ctl->outcomes[i] = JobOutcome::Rejected;
                     ctl->errors[i] = reason;
+                    ctl->doneOrder.push_back(i);
                 }
                 ++st.batchesRejected;
+                ++t.batchesRejected;
                 st.jobsRejected += n;
+                t.jobsRejected += n;
                 detail::finishBatch(*ctl);
                 return BatchHandle(std::move(ctl));
             }
             // Block: park until the pool drains enough room. A batch
             // larger than the whole cap can never fit; admit it alone
-            // once the frontier is idle instead of deadlocking.
+            // once the frontier is idle instead of deadlocking. While
+            // parked, the committed jobs show up in blockedJobs so
+            // queue snapshots never under-count the handoff.
+            st.blockedJobs += n;
             st.admitCv.wait(lock, [&] {
-                return st.pendingJobs + n <= cap ||
-                       st.pendingJobs == 0;
+                return fits(n, batch_cost) || st.pendingJobs == 0;
             });
+            st.blockedJobs -= n;
         }
 
-        ctl->seq = st.seqCounter++;
-        ++st.batchesSubmitted;
-        st.jobsSubmitted += n;
-        st.pendingJobs += n;
+        admit(n, batch_cost);
         if (ctl->jobs.empty()) {
             // Nothing to claim: complete on the spot, never queued.
             detail::finishBatch(*ctl);
             return BatchHandle(std::move(ctl));
         }
-        st.ready.push_back(ctl);
     }
     state_->workCv.notify_all();
     return BatchHandle(std::move(ctl));
+}
+
+Frontier::BatchHandle
+Frontier::submit(std::vector<Job> jobs, int priority)
+{
+    // The legacy single-tenant surface: every caller shares the
+    // default tenant at weight 1, so (priority, seq) is the complete
+    // order - the exact pre-fair-share scheduler.
+    TenantOptions tenant;
+    tenant.priority = priority;
+    return submit(std::move(jobs), tenant);
 }
 
 } // namespace cvliw

@@ -11,6 +11,7 @@
 #define CVLIW_EVAL_METRICS_HH
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,46 @@
 
 namespace cvliw
 {
+
+/**
+ * Fixed-footprint latency recorder for serving metrics (the
+ * frontier's per-tenant p50/p99): samples land in logarithmic
+ * power-of-two buckets of microseconds, so record() is O(1), the
+ * histogram never allocates, and quantile() is exact to within one
+ * bucket (~2x resolution) at any sample count. Deterministic: the
+ * same sample sequence always yields the same quantiles. Not thread
+ * safe; the owner locks (the frontier records under its state mutex).
+ */
+class LatencyHistogram
+{
+  public:
+    /** Record one latency sample (negative values clamp to 0). */
+    void record(double ms);
+
+    /** Samples recorded so far. */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * The smallest recorded-bucket upper bound covering fraction @p q
+     * of the samples, in milliseconds; the top bucket reports the
+     * exact maximum seen instead of its (unbounded) upper edge.
+     * Returns 0 when empty. @p q outside [0, 1] is clamped.
+     */
+    double quantile(double q) const;
+
+    /** Largest single sample recorded, ms. */
+    double maxMs() const { return maxMs_; }
+
+  private:
+    // Bucket b holds samples in [2^(b-1), 2^b) microseconds (bucket 0:
+    // < 1us). 48 buckets top out past 8 years - no overflow bucket
+    // needed for latencies.
+    static constexpr int kBuckets = 48;
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double maxMs_ = 0.0;
+};
 
 /** Aggregated dynamic behaviour of one benchmark on one config. */
 struct BenchmarkAggregate

@@ -6,22 +6,24 @@ namespace cvliw
 {
 
 std::vector<CompileResult>
-CompileService::compileBatch(const std::vector<Job> &jobs)
+CompileService::compileBatch(const std::vector<Job> &jobs,
+                             const TenantOptions &tenant)
 {
     // submit() validates the jobs and copies the descriptors; the
     // graphs/configs they point at are the caller's and stay alive
-    // until take() returns. Default priority: synchronous callers are
-    // plain tenants, overtaken by anything urgent on the frontier.
-    Frontier::BatchHandle handle = frontier_.submit(jobs);
+    // until take() returns. The default TenantOptions makes
+    // synchronous callers plain default-tenant traffic, sharing the
+    // pool fairly with anything else on the frontier.
+    Frontier::BatchHandle handle = frontier_.submit(jobs, tenant);
     handle.wait();
     // The facade flattens the outcome taxonomy to result.ok, so a
     // non-Ok job must at least be visible in the log (async clients
-    // read outcome()/errorOf() instead and get no warning).
+    // read job(i) instead and get no warning).
     for (std::size_t i = 0; i < handle.size(); ++i) {
-        const JobOutcome outcome = handle.outcome(i);
-        if (outcome != JobOutcome::Ok) {
-            cv_warn("batch job ", i, " ", toString(outcome), ": ",
-                    handle.errorOf(i));
+        const Frontier::JobView view = handle.job(i);
+        if (view.outcome != JobOutcome::Ok) {
+            cv_warn("batch job ", i, " ", toString(view.outcome),
+                    ": ", view.error);
         }
     }
     return handle.take();

@@ -104,18 +104,25 @@ class CompileService
     /**
      * Compile @p jobs, one result per job in job order. Blocks until
      * the batch is done - a `submit().wait()` wrapper. Deterministic:
-     * the results never depend on the worker count, on scheduling, or
-     * on other batches in flight.
+     * the results never depend on the worker count, on scheduling, on
+     * tenant weights, or on other batches in flight.
+     *
+     * @p tenant names the fair-share account the batch runs under
+     * (weight, intra-tenant priority, partial-admission consent - see
+     * eval/frontier.hh TenantOptions); the default is the shared
+     * default tenant, the historical behaviour.
      *
      * Failure semantics follow the frontier: a job that throws, times
      * out (PipelineOptions::stepBudget / softDeadlineMs) or is
-     * rejected yields a default CompileResult (`ok == false`) in its
-     * slot - with a one-line warning naming the outcome and error -
-     * and never disturbs the other jobs. Callers that need the full
-     * taxonomy submit through frontier() and read `outcome(i)` /
-     * `errorOf(i)` themselves.
+     * rejected/shed yields a default CompileResult (`ok == false`) in
+     * its slot - with a one-line warning naming the outcome and error
+     * - and never disturbs the other jobs. Callers that need the full
+     * taxonomy submit through frontier() and read `job(i)`
+     * themselves.
      */
-    std::vector<CompileResult> compileBatch(const std::vector<Job> &jobs);
+    std::vector<CompileResult>
+    compileBatch(const std::vector<Job> &jobs,
+                 const TenantOptions &tenant = {});
 
     /** Compile every loop of @p suite for @p mach. */
     SuiteResult compileSuite(const std::vector<Loop> &suite,

@@ -30,6 +30,11 @@
  *  - `frontier.claim`       - worker claimed a job, before compile
  *  - `frontier.complete`    - worker finished a compile, before
  *                             publishing the result
+ *  - `frontier.dispatch`    - dispatcher delivered a streaming
+ *                             completion callback (fires after the
+ *                             callback ran: a throw here models a
+ *                             crashing consumer without breaking
+ *                             exactly-once delivery)
  *  - `resultcache.leader`   - result-cache dedup leader registered,
  *                             before its compile runs
  *  - `resultcache.publish`  - leader's compile returned, before the

@@ -6,12 +6,76 @@
 #include <gtest/gtest.h>
 
 #include "ddg/builder.hh"
+#include "eval/metrics.hh"
 #include "eval/runner.hh"
 
 namespace cvliw
 {
 namespace
 {
+
+TEST(Metrics, LatencyHistogramEmptyAndClamping)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 0.0);
+
+    // Negative samples clamp to zero instead of corrupting a bucket.
+    h.record(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 0.0);
+
+    // Out-of-range q clamps to [0, 1].
+    h.record(3.0);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, LatencyHistogramSingleSampleIsExact)
+{
+    // One sample: every quantile is that sample - the top populated
+    // bucket reports the exact maximum, not its upper edge.
+    LatencyHistogram h;
+    h.record(5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+    EXPECT_DOUBLE_EQ(h.maxMs(), 5.0);
+}
+
+TEST(Metrics, LatencyHistogramQuantilesWithinOneBucket)
+{
+    // 1..1000 ms uniformly: p50 must land within its log2 bucket of
+    // the true median (500ms -> the [512ms, 1024ms) bucket edge) and
+    // the quantiles must be monotone and bounded by the max.
+    LatencyHistogram h;
+    for (int ms = 1; ms <= 1000; ++ms)
+        h.record(static_cast<double>(ms));
+    EXPECT_EQ(h.count(), 1000u);
+    const double p50 = h.quantile(0.50);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p50, 250.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_GE(p99, p50);
+    EXPECT_LE(p99, h.maxMs());
+    EXPECT_DOUBLE_EQ(h.maxMs(), 1000.0);
+}
+
+TEST(Metrics, LatencyHistogramIsDeterministic)
+{
+    // Same samples, any order: identical quantiles (the frontier's
+    // per-tenant stats must not depend on completion interleaving).
+    LatencyHistogram a, b;
+    const double samples[] = {0.2, 1.5, 3.0, 40.0, 500.0, 7.25};
+    for (double s : samples)
+        a.record(s);
+    for (int i = 5; i >= 0; --i)
+        b.record(samples[i]);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+}
 
 TEST(Metrics, HarmonicMean)
 {
