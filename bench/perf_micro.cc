@@ -32,6 +32,7 @@
 #include "sched/copies.hh"
 #include "sched/mii.hh"
 #include "sched/scheduler.hh"
+#include "support/trace.hh"
 #include "workloads/suite.hh"
 #include "workloads/suite_io.hh"
 
@@ -423,6 +424,52 @@ BM_BatchCompile(benchmark::State &state)
                    std::to_string(loops.size()) + " loops");
 }
 BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(0)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The cost of tracing (support/trace.hh): each iteration runs one
+ * disarmed and one armed full-suite sweep on the same pool and
+ * reports both, plus the armed-over-disarmed overhead. The disarmed
+ * sweep is the contract that matters - disarmed spans are one
+ * relaxed load, so `disarmed_ms` must track BM_BatchCompile/0 -
+ * while `overhead_pct` prices what CVLIW_TRACE actually costs.
+ */
+void
+BM_TraceOverhead(benchmark::State &state)
+{
+    const auto &loops = suite();
+    const auto m = MachineConfig::fromString("4c2b2l64r");
+    const unsigned hw = std::thread::hardware_concurrency();
+    CompileService service(hw ? static_cast<int>(hw) : 1);
+    using Clock = std::chrono::steady_clock;
+
+    trace::disarm();
+    trace::clear();
+    double disarmed_ms = 0.0, armed_ms = 0.0;
+    for (auto _ : state) {
+        const auto t0 = Clock::now();
+        benchmark::DoNotOptimize(service.compileSuite(loops, m));
+        const auto t1 = Clock::now();
+        trace::arm(); // buffer only: no exit-time write
+        benchmark::DoNotOptimize(service.compileSuite(loops, m));
+        const auto t2 = Clock::now();
+        trace::disarm();
+        trace::clear(); // pool is idle: no open spans
+        disarmed_ms +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        armed_ms +=
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+    }
+    const auto iters = static_cast<double>(state.iterations());
+    state.counters["disarmed_ms"] = disarmed_ms / iters;
+    state.counters["armed_ms"] = armed_ms / iters;
+    state.counters["overhead_pct"] =
+        disarmed_ms > 0.0
+            ? 100.0 * (armed_ms - disarmed_ms) / disarmed_ms
+            : 0.0;
+    state.SetLabel(std::to_string(loops.size()) + " loops/sweep");
+}
+BENCHMARK(BM_TraceOverhead)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 /**

@@ -13,13 +13,24 @@
  * exact results, plus the per-tenant latency/throughput table the
  * scheduler keeps (Frontier::tenantStats).
  *
- * Usage: frontier_server [tenants] [rounds]   (default 4 tenants x 3
- * rounds of 8-loop interactive batches)
+ * Every compile carries its CompileTelemetry: the demo sums the
+ * structural counters over the background sweep (II attempts,
+ * replication rounds, spill retries, cache hits) - the per-job
+ * breakdown a real server would ship to its telemetry pipeline. With
+ * `--prom <path>` the process writes one Prometheus text-format
+ * scrape (MetricsRegistry::global) on exit, the same output a
+ * /metrics endpoint would serve; CI validates it against the format
+ * grammar.
+ *
+ * Usage: frontier_server [tenants] [rounds] [--prom <path>]
+ * (default 4 tenants x 3 rounds of 8-loop interactive batches)
  */
 
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <mutex>
@@ -28,6 +39,8 @@
 #include <vector>
 
 #include "eval/frontier.hh"
+#include "eval/metrics_registry.hh"
+#include "eval/result_cache.hh"
 #include "workloads/suite_io.hh"
 
 using namespace cvliw;
@@ -36,11 +49,12 @@ namespace
 {
 
 std::vector<Frontier::Job>
-jobsFor(const std::vector<Loop> &loops, const MachineConfig &mach)
+jobsFor(const std::vector<Loop> &loops, const MachineConfig &mach,
+        const PipelineOptions &opts)
 {
     std::vector<Frontier::Job> jobs(loops.size());
     for (std::size_t i = 0; i < loops.size(); ++i)
-        jobs[i] = Frontier::Job{&loops[i].ddg, &mach, nullptr};
+        jobs[i] = Frontier::Job{&loops[i].ddg, &mach, &opts};
     return jobs;
 }
 
@@ -67,11 +81,25 @@ say(Args &&...args)
 int
 main(int argc, char **argv)
 {
-    const int tenants = argc > 1 ? std::atoi(argv[1]) : 4;
-    const int rounds = argc > 2 ? std::atoi(argv[2]) : 3;
+    std::string prom_path;
+    std::vector<int> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc)
+            prom_path = argv[++i];
+        else
+            positional.push_back(std::atoi(argv[i]));
+    }
+    const int tenants = positional.size() > 0 ? positional[0] : 4;
+    const int rounds = positional.size() > 1 ? positional[1] : 3;
 
     const auto suite = loadOrBuildSuite(42);
     const auto mach = MachineConfig::fromString("4c2b2l64r");
+
+    // One shared result cache: tenants re-requesting overlapping
+    // slices hit it, and its counters land in the --prom scrape.
+    ResultCache cache;
+    PipelineOptions pipeline_opts;
+    pipeline_opts.resultCache = &cache;
 
     Frontier frontier;
     std::cout << "frontier: " << frontier.numWorkers()
@@ -88,7 +116,7 @@ main(int argc, char **argv)
     bg_opts.tenant = "background";
     bg_opts.weight = 1.0;
     const auto bg_start = std::chrono::steady_clock::now();
-    auto background = frontier.submit(jobsFor(suite, mach), bg_opts);
+    auto background = frontier.submit(jobsFor(suite, mach, pipeline_opts), bg_opts);
     std::atomic<std::size_t> bg_streamed{0};
     std::atomic<double> bg_first_ms{0.0};
     background.onJobDone([&](const Frontier::JobView &view) {
@@ -116,7 +144,7 @@ main(int argc, char **argv)
             for (int round = 0; round < rounds; ++round) {
                 const auto t0 = std::chrono::steady_clock::now();
                 auto batch =
-                    frontier.submit(jobsFor(slice, mach), opts);
+                    frontier.submit(jobsFor(slice, mach, pipeline_opts), opts);
                 if (t == 1 && round == 0) {
                     // The impatient tenant gives up immediately;
                     // in-flight jobs finish, the rest are dropped.
@@ -158,6 +186,26 @@ main(int argc, char **argv)
               << before.compiled
               << " were already done when the last tenant left)\n";
 
+    // Per-job telemetry, summed over the sweep: the structural
+    // counters are deterministic per job, so this block is stable run
+    // to run (only cacheHit and the wall-clock totals vary).
+    std::uint64_t ii_attempts = 0, repl_rounds = 0, spill_retries = 0,
+                  cache_hits = 0;
+    std::int64_t coms_removed = 0;
+    for (const CompileResult &r : background.results()) {
+        ii_attempts += r.telemetry.iiAttempts;
+        repl_rounds += r.telemetry.replicationRounds;
+        spill_retries += r.telemetry.spillRetries;
+        coms_removed += r.telemetry.comsRemoved;
+        cache_hits += r.telemetry.cacheHit ? 1 : 0;
+    }
+    std::cout << "\nbackground telemetry (CompileResult::telemetry): "
+              << ii_attempts << " II attempts, " << repl_rounds
+              << " replication rounds, " << coms_removed
+              << " comms removed, " << spill_retries
+              << " spill retries, " << cache_hits << "/"
+              << suite.size() << " served from cache\n";
+
     // The scheduler's own books: per-tenant latency and throughput.
     std::cout << "\nper-tenant stats (Frontier::tenantStats):\n";
     std::cout << std::left << std::setw(14) << "tenant"
@@ -173,6 +221,19 @@ main(int argc, char **argv)
                   << std::setw(10) << ts.p50LatencyMs << std::setw(10)
                   << ts.p99LatencyMs << std::setw(12)
                   << ts.throughputJobsPerSec << "\n";
+    }
+
+    // One Prometheus scrape while the frontier and cache are still
+    // alive (their collectors deregister on destruction).
+    if (!prom_path.empty()) {
+        std::ofstream out(prom_path);
+        if (!out) {
+            std::cerr << "cannot write " << prom_path << "\n";
+            return 1;
+        }
+        out << MetricsRegistry::global().renderPrometheus();
+        std::cout << "\nwrote Prometheus scrape to " << prom_path
+                  << "\n";
     }
     return 0;
 }

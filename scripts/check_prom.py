@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition file.
+
+Used by the CI observability step against frontier_server --prom
+output. Checks the line grammar plus the semantic rules that matter
+for scrapers:
+
+  - every sample line parses (name, optional labels, float value)
+  - metric/label names match the spec charset, label values are
+    properly quoted/escaped
+  - each family has at most one HELP and one TYPE line, appearing
+    before its samples
+  - no duplicate series (same name + label set)
+  - histogram buckets are cumulative (non-decreasing in le order),
+    end with le="+Inf", and +Inf equals the family's _count
+
+Exit status 0 on success; prints one line per violation otherwise.
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  -- labels optional, no timestamp emitted by us.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN))$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def base_family(name):
+    """Strip histogram/summary suffixes to the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(text, errors, lineno):
+    labels = []
+    rest = text
+    while rest:
+        m = LABEL_PAIR_RE.match(rest)
+        if not m:
+            errors.append(f"line {lineno}: bad label syntax at '{rest}'")
+            return None
+        labels.append((m.group(1), m.group(2)))
+        rest = rest[m.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: junk after label at '{rest}'")
+            return None
+    return labels
+
+
+def main(path):
+    errors = []
+    helps, types = {}, {}
+    seen_series = set()
+    families_with_samples = set()
+    # (family, non-le labels) -> [(le, value, lineno)...]
+    buckets = {}
+    counts = {}
+
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            name = parts[0]
+            if not METRIC_RE.match(name):
+                errors.append(f"line {lineno}: bad HELP metric name")
+            if name in helps:
+                errors.append(f"line {lineno}: duplicate HELP for {name}")
+            if name in families_with_samples:
+                errors.append(f"line {lineno}: HELP after samples of {name}")
+            helps[name] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts
+            if not METRIC_RE.match(name):
+                errors.append(f"line {lineno}: bad TYPE metric name")
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                errors.append(f"line {lineno}: unknown type '{kind}'")
+            if name in types:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            if name in families_with_samples:
+                errors.append(f"line {lineno}: TYPE after samples of {name}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # plain comment
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        name, label_text, value = m.group(1), m.group(2), m.group(3)
+        family = base_family(name)
+        families_with_samples.add(family)
+        if family not in types:
+            errors.append(f"line {lineno}: sample of {name} has no TYPE")
+
+        labels = parse_labels(label_text or "", errors, lineno)
+        if labels is None:
+            continue
+        for lname, _ in labels:
+            if not LABEL_RE.match(lname):
+                errors.append(f"line {lineno}: bad label name '{lname}'")
+
+        series_key = (name, tuple(sorted(labels)))
+        if series_key in seen_series:
+            errors.append(f"line {lineno}: duplicate series {line}")
+        seen_series.add(series_key)
+
+        if name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"line {lineno}: _bucket without le label")
+                continue
+            other = tuple(sorted(kv for kv in labels if kv[0] != "le"))
+            buckets.setdefault((family, other), []).append(
+                (le, float(value), lineno))
+        elif name.endswith("_count"):
+            other = tuple(sorted(labels))
+            counts[(family, other)] = float(value)
+
+    for (family, other), rows in buckets.items():
+        if types.get(family) != "histogram":
+            continue
+        last = -1.0
+        for le, value, lineno in rows:
+            if value < last:
+                errors.append(
+                    f"line {lineno}: {family} buckets not cumulative "
+                    f"(le={le}: {value} < {last})")
+            last = value
+        if rows[-1][0] != "+Inf":
+            errors.append(f"{family}{dict(other)}: buckets missing +Inf")
+        elif (family, other) in counts and \
+                rows[-1][1] != counts[(family, other)]:
+            errors.append(
+                f"{family}{dict(other)}: +Inf bucket {rows[-1][1]} != "
+                f"_count {counts[(family, other)]}")
+
+    for name in types:
+        if name not in helps:
+            errors.append(f"{name}: TYPE without HELP")
+
+    for err in errors:
+        print(err)
+    if errors:
+        print(f"{path}: {len(errors)} violation(s)")
+        return 1
+    nfam = len(types)
+    print(f"{path}: OK ({nfam} families, {len(seen_series)} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print("usage: check_prom.py <scrape.prom>", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

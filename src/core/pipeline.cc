@@ -1,6 +1,7 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "core/length_replication.hh"
@@ -13,6 +14,7 @@
 #include "sched/mii.hh"
 #include "support/faultpoint.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace cvliw
 {
@@ -63,6 +65,17 @@ clusterCapacityOk(const Ddg &ddg, const MachineConfig &mach,
 namespace
 {
 
+using PhaseClock = std::chrono::steady_clock;
+
+/** Milliseconds elapsed since @p t0. */
+double
+msSince(PhaseClock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               PhaseClock::now() - t0)
+        .count();
+}
+
 /**
  * The pipeline proper. The public compile(..., caches) below wraps
  * it with the optional content-addressed result cache; everything
@@ -73,6 +86,14 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
             const PipelineOptions &opts, CompileCaches &caches)
 {
     faults::point("pipeline.start");
+    trace::TraceSpan compile_span("pipeline", "compile");
+    compile_span.arg("nodes", original.numNodes());
+
+    // Telemetry baselines: the scratch's probe/commit counters are
+    // lifetime-monotone, so this compile's share is a difference.
+    const PhaseClock::time_point t_compile = PhaseClock::now();
+    const std::uint64_t probes0 = caches.pseudo.probeCount();
+    const std::uint64_t commits0 = caches.pseudo.commitCount();
 
     // Cooperative deadline: one checkpoint here (so "expire
     // immediately" configurations never reach the initial partition),
@@ -85,14 +106,27 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
     result.mii = minimumIi(original, mach);
     result.usefulOps = original.numNodes();
 
+    const auto finish_telemetry = [&] {
+        result.telemetry.refineProbes =
+            caches.pseudo.probeCount() - probes0;
+        result.telemetry.refineCommits =
+            caches.pseudo.commitCount() - commits0;
+        result.telemetry.totalMs = msSince(t_compile);
+    };
+
     // One scratch across the initial partition and every per-II
     // refinement: buffers and the topo memo survive II bumps - and,
     // when the caller hands in long-lived caches, whole compiles.
     PseudoScratch &pseudo_scratch = caches.pseudo;
 
-    PartitionResult pr = multilevelPartition(original, mach,
-                                             result.mii,
-                                             &pseudo_scratch);
+    PartitionResult pr;
+    {
+        trace::TraceSpan span("pipeline", "partition");
+        const PhaseClock::time_point t0 = PhaseClock::now();
+        pr = multilevelPartition(original, mach, result.mii,
+                                 &pseudo_scratch);
+        result.telemetry.partitionMs += msSince(t0);
+    }
 
     SchedulerOptions sched_opts;
     sched_opts.zeroBusLatencyForLength = opts.zeroBusLatency;
@@ -110,11 +144,17 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
     for (int ii = result.mii; ii <= opts.maxIi; ++ii) {
         faults::point("pipeline.ii_bump");
         deadline.checkpoint("II bump");
+        trace::TraceSpan ii_span("pipeline", "ii_attempt");
+        ii_span.arg("ii", ii);
+        ++result.telemetry.iiAttempts;
         if (ii > result.mii) {
             // Figure 2: more slots per cluster, so refine.
+            trace::TraceSpan span("pipeline", "refine");
+            const PhaseClock::time_point t0 = PhaseClock::now();
             pr.partition = refinePartition(original, mach,
                                            pr.partition, ii,
                                            &pseudo_scratch);
+            result.telemetry.partitionMs += msSince(t0);
         }
 
         Ddg work = original;
@@ -128,10 +168,18 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
         if (!mach.isUnified()) {
             bool repl_ok = true;
             if (opts.replication) {
+                trace::TraceSpan span("pipeline", "replicate");
+                const PhaseClock::time_point t0 = PhaseClock::now();
                 repl_ok = reduceCommunications(
                     work, part, mach, ii, &rstats, opts.mode,
                     &pr.hierarchy, &caches.subgraph,
                     deadline.active() ? &deadline : nullptr);
+                result.telemetry.replicationMs += msSince(t0);
+                result.telemetry.replicationRounds +=
+                    static_cast<std::uint32_t>(
+                        rstats.roundsConsidered);
+                result.telemetry.comsRemoved += rstats.comsRemoved;
+                span.arg("rounds", rstats.roundsConsidered);
             } else {
                 rstats.comsInitial =
                     findCommunications(work, part.vec()).count();
@@ -168,9 +216,13 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
         Partition pre_copy_part = part;
 
         insertCopies(work, part, mach);
-        ScheduleAttempt attempt =
-            scheduleAtIi(work, mach, part, ii, sched_opts,
-                         &sched_cache);
+        const PhaseClock::time_point t_sched = PhaseClock::now();
+        ScheduleAttempt attempt;
+        {
+            trace::TraceSpan span("pipeline", "schedule");
+            attempt = scheduleAtIi(work, mach, part, ii, sched_opts,
+                                   &sched_cache);
+        }
 
         // Register pressure that the II cannot cure is fixed with
         // spill code (store after definition, reload at the distant
@@ -183,9 +235,13 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
                spill_budget-- > 0 &&
                spillOneValue(work, part, mach, attempt.sched)) {
             ++spills_done;
+            trace::TraceSpan span("pipeline", "spill_retry");
             attempt = scheduleAtIi(work, mach, part, ii, sched_opts,
                                    &sched_cache);
         }
+        result.telemetry.scheduleMs += msSince(t_sched);
+        result.telemetry.spillRetries +=
+            static_cast<std::uint32_t>(spills_done);
 
         if (!attempt.ok) {
             if (attempt.cause == FailCause::Registers &&
@@ -203,6 +259,7 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
                             " regs/cluster; giving up (no spill "
                             "model)");
                     result.ok = false;
+                    finish_telemetry();
                     return result;
                 }
             } else {
@@ -228,11 +285,14 @@ compileImpl(const Ddg &original, const MachineConfig &mach,
         // for simulation and metrics): hand it back without the slack
         // that copy insertion / spilling / length replication grew.
         result.finalDdg.compact();
+        compile_span.arg("ii", ii);
+        finish_telemetry();
         return result;
     }
 
     cv_warn("pipeline gave up at II cap ", opts.maxIi);
     result.ok = false;
+    finish_telemetry();
     return result;
 }
 
@@ -258,10 +318,17 @@ compile(const Ddg &original, const MachineConfig &mach,
         // (deadline, injected fault) propagates without populating
         // the cache - same quarantine stance the frontier's workers
         // take with their CompileCaches.
-        return opts.resultCache->getOrCompute(
+        bool compiled_here = false;
+        CompileResult result = opts.resultCache->getOrCompute(
             makeResultCacheKey(original, mach, opts), [&] {
+                compiled_here = true;
                 return compileImpl(original, mach, opts, *caches);
             });
+        // A result this call did not compute came from the cache: a
+        // memory hit or a dedup join (the flag is per-caller, so the
+        // dedup leader itself reports cacheHit = false).
+        result.telemetry.cacheHit = !compiled_here;
+        return result;
     }
     return compileImpl(original, mach, opts, *caches);
 }

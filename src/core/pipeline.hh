@@ -99,6 +99,57 @@ struct PipelineOptions
     ResultCache *resultCache = nullptr;
 };
 
+/**
+ * Per-job observability counters filled by every compile (tentpole
+ * of the observability layer; surfaced through `Frontier::JobView`
+ * and rendered by examples/frontier_server).
+ *
+ * The structural counters (everything except the *Ms timings and
+ * cacheHit) are **deterministic**: a given (graph, machine, options)
+ * always produces the same values, on any thread, at any worker
+ * count, with any cache state - pinned by tests/trace_test.cc. The
+ * *Ms fields are wall-clock phase attributions and naturally vary
+ * run to run; cacheHit depends on which caller won the dedup race.
+ *
+ * Telemetry is deliberately NOT part of the result digest
+ * (eval/digest.hh) or the result-cache value codec: a result served
+ * from the persistent CVRCACHE tier carries zeroed counters with
+ * cacheHit set, and an in-memory hit carries the original compile's
+ * counters with cacheHit set.
+ */
+struct CompileTelemetry
+{
+    /** II values attempted (successful compile: iiAttempts = ii - mii + 1). */
+    std::uint32_t iiAttempts = 0;
+
+    /** Partition-refinement candidate moves evaluated (PseudoScratch). */
+    std::uint64_t refineProbes = 0;
+
+    /** Refinement moves actually committed. */
+    std::uint64_t refineCommits = 0;
+
+    /** Replication selection rounds, summed over every II attempt. */
+    std::uint32_t replicationRounds = 0;
+
+    /**
+     * Communications removed by replication, summed over every II
+     * attempt (`repl.comsRemoved` is the final II's figure alone).
+     */
+    std::int64_t comsRemoved = 0;
+
+    /** Schedule retries forced by spilling, over every II attempt. */
+    std::uint32_t spillRetries = 0;
+
+    /** Result served by the result cache (memory hit or dedup join). */
+    bool cacheHit = false;
+
+    // Wall-clock phase attribution (steady_clock, milliseconds).
+    double totalMs = 0.0;       //!< compile entry to return
+    double partitionMs = 0.0;   //!< initial partition + per-II refinement
+    double replicationMs = 0.0; //!< reduceCommunications
+    double scheduleMs = 0.0;    //!< scheduleAtIi attempts + spill retries
+};
+
 /** Everything the pipeline produced for one loop. */
 struct CompileResult
 {
@@ -115,6 +166,8 @@ struct CompileResult
     int usefulOps = 0;    //!< static op count of the original loop
     int lengthSaved = 0;  //!< cycles removed by section-5.1 replication
     int spills = 0;       //!< values spilled to fit the register file
+    /** Observability counters + phase timings (not digest-relevant). */
+    CompileTelemetry telemetry;
 
     /** Useful dynamic ops per cycle for a given iteration count. */
     double ipc(double iterations, double visits = 1.0) const;

@@ -9,6 +9,7 @@
 #include "support/deadline.hh"
 #include "support/faultpoint.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace cvliw
 {
@@ -357,6 +358,8 @@ reduceCommunications(Ddg &ddg, Partition &part,
         if (extraComs(comms.count(), mach, ii) == 0)
             return true; // no pool work when nothing must be removed
         faults::point("replicate.round");
+        trace::TraceSpan round_span("pipeline", "replicate.round");
+        round_span.arg("comms", comms.count());
         if (deadline)
             deadline->checkpoint("replication round");
         if (stats)

@@ -12,9 +12,11 @@
 #include <stdexcept>
 
 #include "eval/metrics.hh"
+#include "eval/metrics_registry.hh"
 #include "support/deadline.hh"
 #include "support/faultpoint.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 
 namespace cvliw
 {
@@ -352,6 +354,8 @@ deliverOne(std::unique_lock<std::mutex> &lock, BatchControl &ctl,
 {
     lock.unlock();
     try {
+        trace::TraceSpan span("frontier", "dispatch");
+        span.arg("job", static_cast<long long>(view.index));
         ctl.callback(view);
         // The injection point models a crashing consumer: it throws
         // *after* the callback ran, so exactly-once delivery is
@@ -634,12 +638,9 @@ Frontier::defaultWorkerCount()
         // fleet config typo ("4x", "abc", an overflow) would
         // otherwise change pool sizes with no trace. Warn once; the
         // fallback below still keeps the process serving.
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
-            cv_warn("ignoring invalid CVLIW_THREADS='", env,
-                    "' (want a positive integer <= 65536); using "
-                    "hardware concurrency");
-        }
+        cv_warn_once("ignoring invalid CVLIW_THREADS='", env,
+                     "' (want a positive integer <= 65536); using "
+                     "hardware concurrency");
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw ? static_cast<int>(hw) : 1;
@@ -679,10 +680,18 @@ Frontier::Frontier(int workers, FrontierLimits limits)
             dispatcher_.join();
         throw;
     }
+
+    static std::atomic<std::uint64_t> nextInstance{0};
+    metricsLabel_ = std::to_string(nextInstance.fetch_add(1));
+    metricsCollectorId_ = MetricsRegistry::global().addCollector(
+        [this](MetricsEmitter &em) { collectMetrics(em); });
 }
 
 Frontier::~Frontier()
 {
+    // First things first: after removeCollector returns, the registry
+    // guarantees no scrape is (or will be) touching this frontier.
+    MetricsRegistry::global().removeCollector(metricsCollectorId_);
     // Drain, don't drop: every batch already submitted runs to
     // completion (the synchronous facade depends on it), then the
     // workers exit. Clients that wanted their pending work gone
@@ -803,6 +812,130 @@ Frontier::tenantStats() const
 }
 
 void
+Frontier::collectMetrics(MetricsEmitter &em) const
+{
+    // One consistent snapshot under the state mutex, then emit
+    // unlocked state into the scrape. The per-tenant histograms are
+    // merge()d into the aggregate distribution instead of
+    // re-recording samples.
+    FrontierStats s;
+    std::vector<TenantStats> tenants;
+    std::vector<LatencyHistogram::Snapshot> latencies;
+    LatencyHistogram aggregate;
+    {
+        const FrontierState &st = *state_;
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        s.batchesSubmitted = st.batchesSubmitted;
+        s.batchesRejected = st.batchesRejected;
+        s.jobsSubmitted = st.jobsSubmitted;
+        s.jobsOk = st.jobsOk;
+        s.jobsFailed = st.jobsFailed;
+        s.jobsTimedOut = st.jobsTimedOut;
+        s.jobsCancelled = st.jobsCancelled;
+        s.jobsRejected = st.jobsRejected;
+        s.jobsShed = st.jobsShed;
+        s.pendingJobs = st.pendingJobs;
+        s.pendingCost = st.pendingCost;
+        s.blockedJobs = st.blockedJobs;
+        for (const auto &entry : state_->tenants) {
+            tenants.push_back(snapshotTenant(entry.second));
+            latencies.push_back(entry.second.latency.snapshot());
+            aggregate.merge(entry.second.latency);
+        }
+    }
+
+    const MetricLabels base{{"frontier", metricsLabel_}};
+    const auto withLabel = [&](const char *key, const std::string &v) {
+        MetricLabels l = base;
+        l.emplace_back(key, v);
+        return l;
+    };
+    const char *kBatchesHelp =
+        "batches by admission result (submitted = admitted)";
+    em.counter("cvliw_frontier_batches_total", kBatchesHelp,
+               static_cast<double>(s.batchesSubmitted),
+               withLabel("result", "submitted"));
+    em.counter("cvliw_frontier_batches_total", kBatchesHelp,
+               static_cast<double>(s.batchesRejected),
+               withLabel("result", "rejected"));
+    em.counter("cvliw_frontier_jobs_submitted_total",
+               "jobs admitted to the queue",
+               static_cast<double>(s.jobsSubmitted), base);
+    const char *kJobsHelp = "jobs by terminal outcome";
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsOk),
+               withLabel("outcome", "ok"));
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsFailed),
+               withLabel("outcome", "failed"));
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsTimedOut),
+               withLabel("outcome", "timed_out"));
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsCancelled),
+               withLabel("outcome", "cancelled"));
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsRejected),
+               withLabel("outcome", "rejected"));
+    em.counter("cvliw_frontier_jobs_total", kJobsHelp,
+               static_cast<double>(s.jobsShed),
+               withLabel("outcome", "shed"));
+    em.gauge("cvliw_frontier_workers", "compile worker threads",
+             static_cast<double>(workers_.size()), base);
+    em.gauge("cvliw_frontier_pending_jobs",
+             "current queue depth (admitted)",
+             static_cast<double>(s.pendingJobs), base);
+    em.gauge("cvliw_frontier_pending_cost",
+             "node-count cost of the pending jobs",
+             static_cast<double>(s.pendingCost), base);
+    em.gauge("cvliw_frontier_blocked_jobs",
+             "jobs parked in Block-policy submits",
+             static_cast<double>(s.blockedJobs), base);
+    em.histogram("cvliw_frontier_job_latency_ms",
+                 "Ok-job submit-to-terminal latency, all tenants",
+                 aggregate.snapshot(), base);
+
+    const char *kTenantJobsHelp = "per-tenant jobs by outcome";
+    const char *kTenantLatHelp =
+        "per-tenant Ok-job submit-to-terminal latency";
+    for (std::size_t k = 0; k < tenants.size(); ++k) {
+        const TenantStats &ts = tenants[k];
+        const auto tl = [&](const char *outcome) {
+            MetricLabels l = base;
+            l.emplace_back("tenant", ts.tenant);
+            if (outcome != nullptr)
+                l.emplace_back("outcome", outcome);
+            return l;
+        };
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsOk), tl("ok"));
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsFailed), tl("failed"));
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsTimedOut),
+                   tl("timed_out"));
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsCancelled),
+                   tl("cancelled"));
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsRejected),
+                   tl("rejected"));
+        em.counter("cvliw_tenant_jobs_total", kTenantJobsHelp,
+                   static_cast<double>(ts.jobsShed), tl("shed"));
+        em.gauge("cvliw_tenant_weight", "fair-share weight",
+                 ts.weight, tl(nullptr));
+        em.gauge("cvliw_tenant_pending_jobs",
+                 "per-tenant queue depth",
+                 static_cast<double>(ts.pendingJobs), tl(nullptr));
+        em.gauge("cvliw_tenant_throughput_jobs_per_sec",
+                 "Ok jobs per second over the serving window",
+                 ts.throughputJobsPerSec, tl(nullptr));
+        em.histogram("cvliw_tenant_job_latency_ms", kTenantLatHelp,
+                     latencies[k], tl(nullptr));
+    }
+}
+
+void
 Frontier::dispatcherMain()
 {
     FrontierState &st = *state_;
@@ -883,13 +1016,23 @@ Frontier::workerMain(std::size_t worker_index)
         JobOutcome outcome = JobOutcome::Ok;
         std::string error;
         CompileResult res;
+        trace::TraceSpan job_span("frontier", "job");
+        if (job_span.active()) {
+            job_span.arg("tenant",
+                         std::string_view(ctl->tenantName));
+            job_span.arg("batch",
+                         static_cast<long long>(ctl->seq));
+            job_span.arg("job", static_cast<long long>(i));
+        }
         try {
             faults::point("frontier.claim");
+            trace::instant("frontier", "claim");
             res = compile(*job.ddg, *job.mach,
                           job.opts ? *job.opts
                                    : kDefaultPipelineOptions,
                           caches_[worker_index].get());
             faults::point("frontier.complete");
+            trace::instant("frontier", "complete");
         } catch (const DeadlineExceeded &err) {
             outcome = JobOutcome::TimedOut;
             error = err.what();
@@ -929,6 +1072,11 @@ Frontier::workerMain(std::size_t worker_index)
 Frontier::BatchHandle
 Frontier::submit(std::vector<Job> jobs, const TenantOptions &tenant)
 {
+    trace::TraceSpan span("frontier", "submit");
+    if (span.active()) {
+        span.arg("tenant", std::string_view(tenant.tenant));
+        span.arg("jobs", static_cast<long long>(jobs.size()));
+    }
     for (const Job &job : jobs) {
         cv_assert(job.ddg && job.mach,
                   "frontier job without a graph or machine");

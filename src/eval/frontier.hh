@@ -522,20 +522,28 @@ class Frontier
         std::vector<CompileResult> take();
 
         /**
-         * @deprecated Legacy per-job surface, kept as thin delegates
-         * over job(i): prefer `job(i).ran()` / `.outcome` / `.error`.
+         * @deprecated Legacy per-job surface, kept one more release
+         * as thin delegates over job(i): prefer `job(i).ran()` /
+         * `.outcome` / `.error`. In-repo callers are migrated; the
+         * attribute keeps our own build deprecation-clean.
          * @throws std::out_of_range when @p i >= size()
          */
-        bool ran(std::size_t i) const { return job(i).ran(); }
+        [[deprecated("use job(i).ran()")]] bool
+        ran(std::size_t i) const
+        {
+            return job(i).ran();
+        }
 
         /** @deprecated Use job(i).outcome. */
-        JobOutcome outcome(std::size_t i) const
+        [[deprecated("use job(i).outcome")]] JobOutcome
+        outcome(std::size_t i) const
         {
             return job(i).outcome;
         }
 
         /** @deprecated Use job(i).error. */
-        std::string errorOf(std::size_t i) const
+        [[deprecated("use job(i).error")]] std::string
+        errorOf(std::size_t i) const
         {
             return job(i).error;
         }
@@ -625,6 +633,9 @@ class Frontier
     void workerMain(std::size_t worker_index);
     void dispatcherMain();
 
+    /** Emit aggregate + per-tenant metrics into a scrape. */
+    void collectMetrics(class MetricsEmitter &em) const;
+
     // Shared with every BatchControl so handles outlive the frontier:
     // the mutex, the condition variables, the ready frontier, the
     // tenant table and the dispatch queue all live here (frontier.cc).
@@ -642,6 +653,10 @@ class Frontier
     std::vector<std::unique_ptr<CompileCaches>> caches_;
 
     FrontierLimits limits_;
+
+    /** Scrape-time registration with MetricsRegistry::global(). */
+    std::uint64_t metricsCollectorId_ = 0;
+    std::string metricsLabel_; //!< `frontier="N"` instance label value
 };
 
 } // namespace cvliw

@@ -18,7 +18,30 @@ LatencyHistogram::record(double ms)
         ++b;
     ++buckets_[static_cast<std::size_t>(b)];
     ++count_;
+    sumMs_ += std::max(0.0, ms);
     maxMs_ = std::max(maxMs_, std::max(0.0, ms));
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int b = 0; b < kBuckets; ++b)
+        buckets_[static_cast<std::size_t>(b)] +=
+            other.buckets_[static_cast<std::size_t>(b)];
+    count_ += other.count_;
+    sumMs_ += other.sumMs_;
+    maxMs_ = std::max(maxMs_, other.maxMs_);
+}
+
+LatencyHistogram::Snapshot
+LatencyHistogram::snapshot() const
+{
+    Snapshot snap;
+    snap.buckets = buckets_;
+    snap.count = count_;
+    snap.sumMs = sumMs_;
+    snap.maxMs = maxMs_;
+    return snap;
 }
 
 double

@@ -1,0 +1,334 @@
+#include "eval/metrics_registry.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/faultpoint.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace cvliw
+{
+
+namespace
+{
+
+/** Escape a label value per the exposition format. */
+std::string
+escapeLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** Escape a HELP string per the exposition format. */
+std::string
+escapeHelp(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+/** `a="x",b="y"` (no braces) - "" for the empty label set. */
+std::string
+renderLabels(const MetricLabels &labels)
+{
+    std::string out;
+    for (const auto &kv : labels) {
+        if (!out.empty())
+            out += ',';
+        out += kv.first;
+        out += "=\"";
+        out += escapeLabelValue(kv.second);
+        out += '"';
+    }
+    return out;
+}
+
+/** Integers render exactly; everything else gets %.10g. */
+std::string
+formatValue(double v)
+{
+    if (std::nearbyint(v) == v && std::abs(v) < 9e15)
+        return std::to_string(static_cast<long long>(v));
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** One sample line: name[_suffix]{labels[,extra]} value. */
+void
+appendSample(std::string &out, const std::string &name,
+             const char *suffix, const std::string &labelText,
+             const std::string &extraLabel, double value)
+{
+    out += name;
+    out += suffix;
+    if (!labelText.empty() || !extraLabel.empty()) {
+        out += '{';
+        out += labelText;
+        if (!labelText.empty() && !extraLabel.empty())
+            out += ',';
+        out += extraLabel;
+        out += '}';
+    }
+    out += ' ';
+    out += formatValue(value);
+    out += '\n';
+}
+
+} // namespace
+
+void
+MetricsEmitter::put(const std::string &name, const std::string &help,
+                    char type, const MetricLabels &labels,
+                    Series series)
+{
+    Family &fam = families_[name];
+    if (fam.series.empty() && fam.byLabel.empty()) {
+        fam.help = help;
+        fam.type = type;
+    } else if (fam.type != type) {
+        // A name cannot be two metric kinds in one scrape; keep the
+        // first registration and drop the conflicting series.
+        cv_warn_once("metrics: '", name,
+                     "' emitted with conflicting types; dropping");
+        return;
+    }
+    series.labelText = renderLabels(labels);
+    const auto it = fam.byLabel.find(series.labelText);
+    if (it != fam.byLabel.end()) {
+        fam.series[it->second] = std::move(series); // last write wins
+        return;
+    }
+    fam.byLabel.emplace(series.labelText, fam.series.size());
+    fam.series.push_back(std::move(series));
+}
+
+void
+MetricsEmitter::counter(const std::string &name,
+                        const std::string &help, double value,
+                        const MetricLabels &labels)
+{
+    Series s;
+    s.value = value;
+    put(name, help, 'c', labels, std::move(s));
+}
+
+void
+MetricsEmitter::gauge(const std::string &name, const std::string &help,
+                      double value, const MetricLabels &labels)
+{
+    Series s;
+    s.value = value;
+    put(name, help, 'g', labels, std::move(s));
+}
+
+void
+MetricsEmitter::histogram(const std::string &name,
+                          const std::string &help,
+                          const LatencyHistogram::Snapshot &snap,
+                          const MetricLabels &labels)
+{
+    Series s;
+    s.isHistogram = true;
+    s.snap = snap;
+    put(name, help, 'h', labels, std::move(s));
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    // Leaked on purpose: components deregister collectors from
+    // destructors that may run during static teardown.
+    static MetricsRegistry *reg = [] {
+        auto *r = new MetricsRegistry;
+        r->addCollector([](MetricsEmitter &em) {
+            em.counter("cvliw_log_messages_total",
+                       "warn()/inform() calls since process start "
+                       "(level-suppressed calls included)",
+                       static_cast<double>(logging::warnCount()),
+                       {{"level", "warn"}});
+            em.counter("cvliw_log_messages_total",
+                       "warn()/inform() calls since process start "
+                       "(level-suppressed calls included)",
+                       static_cast<double>(logging::informCount()),
+                       {{"level", "info"}});
+        });
+        r->addCollector([](MetricsEmitter &em) {
+            em.gauge("cvliw_faultpoints_armed",
+                     "1 when a fault-injection schedule is armed",
+                     faults::armed() ? 1.0 : 0.0);
+            em.counter("cvliw_faultpoints_fired_total",
+                       "fault-point actions fired (resets on "
+                       "arm/disarm)",
+                       static_cast<double>(faults::firedCount()));
+        });
+        r->addCollector([](MetricsEmitter &em) {
+            em.gauge("cvliw_trace_armed",
+                     "1 when CVLIW_TRACE tracing is recording",
+                     trace::armed() ? 1.0 : 0.0);
+            em.gauge("cvliw_trace_buffered_events",
+                     "trace events currently buffered across threads",
+                     static_cast<double>(trace::bufferedEvents()));
+            em.counter("cvliw_trace_dropped_events_total",
+                       "trace events dropped at the per-thread cap",
+                       static_cast<double>(trace::droppedEvents()));
+        });
+        return r;
+    }();
+    return *reg;
+}
+
+MetricsRegistry::Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = instruments_[name];
+    if (!inst.counter && !inst.gauge && !inst.histogram) {
+        inst.help = help;
+        inst.kind = 'c';
+        inst.counter = std::make_unique<Counter>();
+    }
+    cv_assert(inst.kind == 'c', "metric '", name,
+              "' already registered as a different kind");
+    return *inst.counter;
+}
+
+MetricsRegistry::Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = instruments_[name];
+    if (!inst.counter && !inst.gauge && !inst.histogram) {
+        inst.help = help;
+        inst.kind = 'g';
+        inst.gauge = std::make_unique<Gauge>();
+    }
+    cv_assert(inst.kind == 'g', "metric '", name,
+              "' already registered as a different kind");
+    return *inst.gauge;
+}
+
+MetricsRegistry::Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument &inst = instruments_[name];
+    if (!inst.counter && !inst.gauge && !inst.histogram) {
+        inst.help = help;
+        inst.kind = 'h';
+        inst.histogram = std::make_unique<Histogram>();
+    }
+    cv_assert(inst.kind == 'h', "metric '", name,
+              "' already registered as a different kind");
+    return *inst.histogram;
+}
+
+MetricsRegistry::CollectorId
+MetricsRegistry::addCollector(Collector fn)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const CollectorId id = nextCollectorId_++;
+    collectors_.emplace(id, std::move(fn));
+    return id;
+}
+
+void
+MetricsRegistry::removeCollector(CollectorId id)
+{
+    // Scrapes run under mutex_, so erasing under it guarantees the
+    // collector is not mid-call and will never be called again.
+    std::lock_guard<std::mutex> lock(mutex_);
+    collectors_.erase(id);
+}
+
+std::string
+MetricsRegistry::renderPrometheus()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsEmitter em;
+    for (const auto &entry : instruments_) {
+        const Instrument &inst = entry.second;
+        switch (inst.kind) {
+          case 'c':
+            em.counter(entry.first, inst.help,
+                       static_cast<double>(inst.counter->value()));
+            break;
+          case 'g':
+            em.gauge(entry.first, inst.help, inst.gauge->value());
+            break;
+          case 'h':
+            em.histogram(entry.first, inst.help,
+                         inst.histogram->snapshot());
+            break;
+        }
+    }
+    for (const auto &entry : collectors_)
+        entry.second(em);
+
+    std::string out;
+    for (const auto &famEntry : em.families_) {
+        const std::string &name = famEntry.first;
+        const MetricsEmitter::Family &fam = famEntry.second;
+        out += "# HELP " + name + " " + escapeHelp(fam.help) + "\n";
+        out += "# TYPE " + name + " ";
+        out += fam.type == 'c'   ? "counter"
+               : fam.type == 'g' ? "gauge"
+                                 : "histogram";
+        out += "\n";
+        for (const MetricsEmitter::Series &s : fam.series) {
+            if (!s.isHistogram) {
+                appendSample(out, name, "", s.labelText, "", s.value);
+                continue;
+            }
+            // Cumulative buckets up to the top populated edge, then
+            // +Inf; empty histograms expose only +Inf.
+            int top = -1;
+            for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+                if (s.snap.buckets[static_cast<std::size_t>(b)] > 0)
+                    top = b;
+            }
+            std::uint64_t cum = 0;
+            for (int b = 0; b <= top; ++b) {
+                cum += s.snap.buckets[static_cast<std::size_t>(b)];
+                const std::string le =
+                    "le=\"" +
+                    formatValue(
+                        LatencyHistogram::Snapshot::bucketEdgeMs(b)) +
+                    "\"";
+                appendSample(out, name, "_bucket", s.labelText, le,
+                             static_cast<double>(cum));
+            }
+            appendSample(out, name, "_bucket", s.labelText,
+                         "le=\"+Inf\"",
+                         static_cast<double>(s.snap.count));
+            appendSample(out, name, "_sum", s.labelText, "",
+                         s.snap.sumMs);
+            appendSample(out, name, "_count", s.labelText, "",
+                         static_cast<double>(s.snap.count));
+        }
+    }
+    return out;
+}
+
+} // namespace cvliw

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Process-wide metrics registry with Prometheus text exposition: one
+ * renderPrometheus() scrape shows the whole serving stack (frontier
+ * aggregates, per-tenant scheduling/latency, result-cache traffic,
+ * fault-injection fires, log counts, trace buffering).
+ *
+ * ## Two ways to publish
+ *
+ * - **Owned instruments** (`counter()` / `gauge()` / `histogram()`):
+ *   the registry owns the storage; callers hold a reference and
+ *   `inc()` / `set()` / `record()` lock-free (atomics) from any
+ *   thread. For metrics with no better home.
+ *
+ * - **Pull collectors** (`addCollector()`): a component that already
+ *   keeps its own counters under its own lock (Frontier,
+ *   ResultCache) registers a callback that emits its current values
+ *   into a MetricsEmitter at scrape time - no double bookkeeping, no
+ *   new locking on the component's hot path. Collectors register in
+ *   the component's constructor and MUST deregister in its
+ *   destructor (removeCollector blocks until any in-flight scrape
+ *   finishes, so after it returns the callback will never run
+ *   again). Collectors must not call back into the registry.
+ *
+ * Built-in collectors (installed on first global() use) export
+ * `cvliw_log_messages_total`, `cvliw_faultpoints_*` and
+ * `cvliw_trace_*`, so even a binary that never touches the registry
+ * directly gets a meaningful scrape.
+ *
+ * ## Exposition format
+ *
+ * renderPrometheus() emits the Prometheus text format, version
+ * 0.0.4: families sorted by name, one `# HELP` + `# TYPE` per
+ * family, series deduplicated by label set (last write wins),
+ * histograms as cumulative `_bucket{le=...}` / `_sum` / `_count`
+ * from a LatencyHistogram::Snapshot. CI round-trips a scrape
+ * through scripts/check_prom.py.
+ */
+
+#ifndef CVLIW_EVAL_METRICS_REGISTRY_HH
+#define CVLIW_EVAL_METRICS_REGISTRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "eval/metrics.hh"
+
+namespace cvliw
+{
+
+/** Label set for one series: ordered (name, value) pairs. */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Sink a collector writes into at scrape time. Values land in the
+ * scrape being rendered; the emitter is only valid for the duration
+ * of the collector call.
+ */
+class MetricsEmitter
+{
+  public:
+    /** Emit a monotonically increasing value. */
+    void counter(const std::string &name, const std::string &help,
+                 double value, const MetricLabels &labels = {});
+
+    /** Emit a point-in-time value that can go down. */
+    void gauge(const std::string &name, const std::string &help,
+               double value, const MetricLabels &labels = {});
+
+    /** Emit a latency distribution (buckets/sum/count). */
+    void histogram(const std::string &name, const std::string &help,
+                   const LatencyHistogram::Snapshot &snap,
+                   const MetricLabels &labels = {});
+
+  private:
+    friend class MetricsRegistry;
+
+    struct Series
+    {
+        std::string labelText; ///< rendered {a="b",...} or ""
+        double value = 0.0;
+        bool isHistogram = false;
+        LatencyHistogram::Snapshot snap;
+    };
+
+    struct Family
+    {
+        std::string help;
+        char type = 'c'; ///< 'c'ounter, 'g'auge, 'h'istogram
+        std::vector<Series> series;
+        std::map<std::string, std::size_t> byLabel;
+    };
+
+    void put(const std::string &name, const std::string &help,
+             char type, const MetricLabels &labels, Series series);
+
+    std::map<std::string, Family> families_;
+};
+
+/**
+ * The process metrics registry. Use MetricsRegistry::global(); the
+ * instance is immortal (never destroyed), so components may call
+ * removeCollector from destructors that run at any point during
+ * shutdown.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Registry-owned counter: monotone, lock-free increments. */
+    class Counter
+    {
+      public:
+        void
+        inc(std::uint64_t n = 1)
+        {
+            value_.fetch_add(n, std::memory_order_relaxed);
+        }
+
+        std::uint64_t
+        value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+
+      private:
+        std::atomic<std::uint64_t> value_{0};
+    };
+
+    /** Registry-owned gauge: settable point-in-time value. */
+    class Gauge
+    {
+      public:
+        void
+        set(double v)
+        {
+            value_.store(v, std::memory_order_relaxed);
+        }
+
+        double
+        value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+
+      private:
+        std::atomic<double> value_{0.0};
+    };
+
+    /** Registry-owned histogram: thread-safe record(). */
+    class Histogram
+    {
+      public:
+        void
+        record(double ms)
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            hist_.record(ms);
+        }
+
+        LatencyHistogram::Snapshot
+        snapshot() const
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            return hist_.snapshot();
+        }
+
+      private:
+        mutable std::mutex mutex_;
+        LatencyHistogram hist_;
+    };
+
+    using CollectorId = std::uint64_t;
+    using Collector = std::function<void(MetricsEmitter &)>;
+
+    /** The process-wide registry (built-in collectors installed). */
+    static MetricsRegistry &global();
+
+    /**
+     * The owned instrument named @p name, created on first use.
+     * Later calls with the same name return the same instrument
+     * (the first help string wins). A name already registered as a
+     * different instrument kind panics.
+     */
+    Counter &counter(const std::string &name, const std::string &help);
+    Gauge &gauge(const std::string &name, const std::string &help);
+    Histogram &histogram(const std::string &name,
+                         const std::string &help);
+
+    /** Register a scrape-time collector; returns its removal id. */
+    CollectorId addCollector(Collector fn);
+
+    /**
+     * Deregister a collector. Blocks until any in-flight scrape is
+     * done: after this returns the callback will never run again.
+     */
+    void removeCollector(CollectorId id);
+
+    /**
+     * Render one scrape in the Prometheus text exposition format:
+     * owned instruments plus every registered collector's output.
+     */
+    std::string renderPrometheus();
+
+  private:
+    struct Instrument
+    {
+        std::string help;
+        char kind = 'c';
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    std::mutex mutex_;
+    std::map<std::string, Instrument> instruments_;
+    std::map<CollectorId, Collector> collectors_;
+    CollectorId nextCollectorId_ = 1;
+};
+
+} // namespace cvliw
+
+#endif // CVLIW_EVAL_METRICS_REGISTRY_HH

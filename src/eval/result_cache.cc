@@ -5,9 +5,11 @@
 #include <utility>
 #include <vector>
 
+#include "eval/metrics_registry.hh"
 #include "support/faultpoint.hh"
 #include "support/fnv.hh"
 #include "support/logging.hh"
+#include "support/trace.hh"
 #include "workloads/suite_io.hh"
 
 namespace cvliw
@@ -190,11 +192,73 @@ struct ResultCache::InFlight
     std::shared_ptr<const CompileResult> result;
 };
 
+namespace
+{
+/** Distinguishes the `cache="N"` label when several caches coexist. */
+std::atomic<std::uint64_t> nextCacheInstance{0};
+} // namespace
+
 ResultCache::ResultCache(std::size_t max_bytes) : maxBytes_(max_bytes)
 {
+    metricsLabel_ =
+        std::to_string(nextCacheInstance.fetch_add(1));
+    metricsCollectorId_ = MetricsRegistry::global().addCollector(
+        [this](MetricsEmitter &em) { collectMetrics(em); });
 }
 
-ResultCache::~ResultCache() = default;
+ResultCache::~ResultCache()
+{
+    // After this returns the registry guarantees the collector will
+    // never run again, so `this` may die.
+    MetricsRegistry::global().removeCollector(metricsCollectorId_);
+}
+
+void
+ResultCache::collectMetrics(MetricsEmitter &em) const
+{
+    const ResultCacheStats s = stats();
+    const MetricLabels base{{"cache", metricsLabel_}};
+    const auto withResult = [&](const char *r) {
+        MetricLabels l = base;
+        l.emplace_back("result", r);
+        return l;
+    };
+    em.counter("cvliw_resultcache_requests_total",
+               "result-cache lookups by result (hit counts memory "
+               "hits and dedup joins; miss counts leader compiles)",
+               static_cast<double>(s.hits), withResult("hit"));
+    em.counter("cvliw_resultcache_requests_total", "",
+               static_cast<double>(s.misses), withResult("miss"));
+    em.counter("cvliw_resultcache_dedup_joins_total",
+               "hits that waited on an in-flight identical compile",
+               static_cast<double>(s.dedupJoins), base);
+    em.counter("cvliw_resultcache_evictions_total",
+               "entries LRU-evicted to fit the byte budget",
+               static_cast<double>(s.evictions), base);
+    em.counter("cvliw_resultcache_insertions_total",
+               "entries published into the cache",
+               static_cast<double>(s.insertions), base);
+    em.counter("cvliw_resultcache_oversized_total",
+               "results larger than the whole budget (never cached)",
+               static_cast<double>(s.oversized), base);
+    em.counter("cvliw_resultcache_disk_records_total",
+               "persistent-tier records by load result",
+               static_cast<double>(s.diskLoaded),
+               withResult("loaded"));
+    em.counter("cvliw_resultcache_disk_records_total", "",
+               static_cast<double>(s.diskRejected),
+               withResult("rejected"));
+    em.counter("cvliw_resultcache_disk_records_total", "",
+               static_cast<double>(s.diskSkipped),
+               withResult("skipped"));
+    em.gauge("cvliw_resultcache_bytes",
+             "current footprint of live entries",
+             static_cast<double>(s.bytes), base);
+    em.gauge("cvliw_resultcache_max_bytes", "the configured budget",
+             static_cast<double>(s.maxBytes), base);
+    em.gauge("cvliw_resultcache_entries", "live entries",
+             static_cast<double>(s.entries), base);
+}
 
 CompileResult
 ResultCache::getOrCompute(const ResultCacheKey &key,
@@ -213,6 +277,7 @@ ResultCache::getOrCompute(const ResultCacheKey &key,
                 const std::shared_ptr<const CompileResult> r =
                     hit->second.result;
                 lock.unlock();
+                trace::instant("resultcache", "hit");
                 return *r;
             }
             auto fit = inflight_.find(key);
@@ -224,6 +289,7 @@ ResultCache::getOrCompute(const ResultCacheKey &key,
             ++hits_;
             ++dedupJoins_;
             const std::shared_ptr<InFlight> lead = fit->second;
+            trace::TraceSpan wait_span("resultcache", "dedup_wait");
             cv_.wait(lock, [&] { return lead->done; });
             if (lead->ok) {
                 const std::shared_ptr<const CompileResult> r =
@@ -246,6 +312,7 @@ ResultCache::getOrCompute(const ResultCacheKey &key,
     // Leader path: compute WITHOUT the cache lock (followers block on
     // the control block, never on a held mutex around a compile).
     try {
+        trace::instant("resultcache", "miss");
         faults::point("resultcache.leader");
         auto result =
             std::make_shared<const CompileResult>(compute());
@@ -260,6 +327,7 @@ ResultCache::getOrCompute(const ResultCacheKey &key,
             block->result = result;
         }
         cv_.notify_all();
+        trace::instant("resultcache", "publish");
         return *result;
     } catch (const DeadlineExceeded &err) {
         failInFlight(key, block, true, err.what());

@@ -273,6 +273,9 @@ class ResultCache
                       const std::shared_ptr<InFlight> &block,
                       bool timed_out, const std::string &error);
 
+    /** Emit this cache's counters into a metrics scrape. */
+    void collectMetrics(class MetricsEmitter &em) const;
+
     mutable std::mutex lock_;
     std::condition_variable cv_;
     std::unordered_map<ResultCacheKey, Entry, KeyHash> entries_;
@@ -291,6 +294,10 @@ class ResultCache
     std::uint64_t diskLoaded_ = 0;
     std::uint64_t diskRejected_ = 0;
     std::uint64_t diskSkipped_ = 0;
+
+    /** Scrape-time registration with MetricsRegistry::global(). */
+    std::uint64_t metricsCollectorId_ = 0;
+    std::string metricsLabel_; //!< `cache="N"` instance label value
 };
 
 } // namespace cvliw

@@ -452,6 +452,7 @@ PseudoScratch::probeMove(NodeId n, int c, const PseudoResult &best,
     cv_assert(ddg_ != nullptr, "probeMove before bind");
     cv_assert(ddg_->node(n).cls != OpClass::Copy,
               "refinement does not move copies");
+    ++probes_;
     const int from = assign_[n];
     if (c == from)
         return false;
@@ -465,6 +466,7 @@ void
 PseudoScratch::commitMove(NodeId n, int c)
 {
     cv_assert(ddg_ != nullptr, "commitMove before bind");
+    ++commits_;
     if (c == assign_[n])
         return;
     applyMove(n, c);

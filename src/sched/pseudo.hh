@@ -46,6 +46,7 @@
 #ifndef CVLIW_SCHED_PSEUDO_HH
 #define CVLIW_SCHED_PSEUDO_HH
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -114,6 +115,17 @@ class PseudoScratch
     /** Incremental communication count of the bound assignment. */
     int commCount() const { return commCount_; }
 
+    /**
+     * Lifetime probeMove() / commitMove() call counts: monotone over
+     * the scratch's life, never reset by bind(). The pipeline
+     * differences them around each compile to fill
+     * CompileTelemetry::refineProbes / refineCommits - deterministic
+     * for a given (graph, machine, options) because refinement's
+     * control flow is.
+     */
+    std::uint64_t probeCount() const { return probes_; }
+    std::uint64_t commitCount() const { return commits_; }
+
   private:
     friend PseudoResult pseudoSchedule(const Ddg &,
                                        const MachineConfig &,
@@ -149,6 +161,9 @@ class PseudoScratch
     /** Per node: non-copy value producer (comm-eligible). */
     std::vector<char> tracked_;
     int commCount_ = 0;
+
+    std::uint64_t probes_ = 0;
+    std::uint64_t commits_ = 0;
 
     // Buffers of the from-scratch path and the expensive kernels.
     std::vector<int> usageFull_;

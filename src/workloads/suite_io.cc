@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include "support/trace.hh"
 #include <exception>
 #include <fstream>
 #include <mutex>
@@ -479,6 +480,8 @@ void
 saveSuite(const std::vector<Loop> &suite, const std::string &path,
           std::uint64_t seed)
 {
+    trace::TraceSpan span("suite", "save");
+    span.arg("loops", static_cast<long long>(suite.size()));
     // Payload plus the per-loop index that makes records
     // independently addressable (parallel loading, random access) and
     // independently verifiable (lazy per-record digests).
@@ -801,7 +804,10 @@ loadSuiteLoop(const std::string &path, std::uint32_t record)
 std::vector<Loop>
 loadSuite(const std::string &path, std::uint64_t *seed_out)
 {
+    trace::TraceSpan span("suite", "load");
     const SuiteCacheFile file(path);
+    span.arg("loops",
+             static_cast<long long>(file.impl_->loopCount));
     const SuiteCacheFile::Impl &im = *file.impl_;
     const std::uint32_t loop_count = im.loopCount;
 
@@ -900,6 +906,8 @@ loadOrBuildSuite(std::uint64_t seed)
                     "': ", err.what(), "; regenerating suite");
         }
     }
+    trace::TraceSpan span("suite", "build");
+    span.arg("seed", static_cast<long long>(seed));
     return buildSuite(seed);
 }
 

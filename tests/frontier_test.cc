@@ -78,7 +78,7 @@ TEST(Frontier, BatchResultsBitIdenticalAcrossWorkerCounts)
         const auto &results = handle.results();
         ASSERT_EQ(results.size(), loops.size());
         for (std::size_t i = 0; i < results.size(); ++i)
-            EXPECT_TRUE(handle.ran(i)) << "job " << i;
+            EXPECT_TRUE(handle.job(i).ran()) << "job " << i;
         digests.push_back(digestResults(results));
     }
     EXPECT_EQ(digests[0], digests[1]);
@@ -175,17 +175,29 @@ TEST(Frontier, OutOfRangeJobIndexThrows)
     auto handle = frontier.submit(jobs);
     handle.wait();
 
+    EXPECT_THROW(handle.job(jobs.size()), std::out_of_range);
+    EXPECT_THROW(handle.job(jobs.size() + 100), std::out_of_range);
+
+    // The deprecated delegates stay range-checked and equivalent to
+    // job(i) until their removal release; this is their one retained
+    // regression test - everything else uses job(i).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_THROW(handle.ran(jobs.size()), std::out_of_range);
     EXPECT_THROW(handle.outcome(jobs.size()), std::out_of_range);
     EXPECT_THROW(handle.errorOf(jobs.size()), std::out_of_range);
-    EXPECT_THROW(handle.job(jobs.size()), std::out_of_range);
-    EXPECT_THROW(handle.outcome(jobs.size() + 100), std::out_of_range);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(handle.ran(i), handle.job(i).ran());
+        EXPECT_EQ(handle.outcome(i), handle.job(i).outcome);
+        EXPECT_EQ(handle.errorOf(i), handle.job(i).error);
+    }
+#pragma GCC diagnostic pop
 
     // In-range accessors still work on the same handle afterwards.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        EXPECT_TRUE(handle.ran(i));
-        EXPECT_EQ(handle.outcome(i), JobOutcome::Ok);
-        EXPECT_TRUE(handle.errorOf(i).empty());
+        EXPECT_TRUE(handle.job(i).ran());
+        EXPECT_EQ(handle.job(i).outcome, JobOutcome::Ok);
+        EXPECT_TRUE(handle.job(i).error.empty());
     }
 }
 
@@ -209,7 +221,7 @@ TEST(Frontier, CancelBeforeStartDropsEveryJob)
     EXPECT_EQ(s.compiled, 0u);
     EXPECT_EQ(s.dropped, sample.size());
     for (std::size_t i = 0; i < victim.size(); ++i) {
-        EXPECT_FALSE(victim.ran(i));
+        EXPECT_FALSE(victim.job(i).ran());
         EXPECT_FALSE(victim.results()[i].ok);
     }
     shield.wait();
@@ -245,7 +257,7 @@ TEST(Frontier, CancelMidBatchKeepsFinishedPrefixExact)
     const auto &results = handle.results();
     std::size_t ran_count = 0;
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        if (!handle.ran(i)) {
+        if (!handle.job(i).ran()) {
             EXPECT_FALSE(results[i].ok) << "job " << i;
             continue;
         }
@@ -450,22 +462,22 @@ TEST(FrontierFaults, FailedJobIsIsolatedFromBatchAndTenants)
     a.wait();
     b.wait();
 
-    EXPECT_EQ(a.outcome(2), JobOutcome::Failed);
-    EXPECT_NE(a.errorOf(2).find("injected boom"), std::string::npos)
-        << a.errorOf(2);
-    EXPECT_FALSE(a.ran(2));
+    EXPECT_EQ(a.job(2).outcome, JobOutcome::Failed);
+    EXPECT_NE(a.job(2).error.find("injected boom"), std::string::npos)
+        << a.job(2).error;
+    EXPECT_FALSE(a.job(2).ran());
     EXPECT_FALSE(a.results()[2].ok);
     for (std::size_t i = 0; i < loopsA.size(); ++i) {
         if (i == 2)
             continue;
-        EXPECT_EQ(a.outcome(i), JobOutcome::Ok) << "job " << i;
-        EXPECT_TRUE(a.errorOf(i).empty()) << "job " << i;
+        EXPECT_EQ(a.job(i).outcome, JobOutcome::Ok) << "job " << i;
+        EXPECT_TRUE(a.job(i).error.empty()) << "job " << i;
         ResultDigest d;
         mixCompileResult(d, a.results()[i]);
         EXPECT_EQ(d.h, oracleA[i]) << "job " << i;
     }
     for (std::size_t i = 0; i < loopsB.size(); ++i) {
-        EXPECT_EQ(b.outcome(i), JobOutcome::Ok) << "job " << i;
+        EXPECT_EQ(b.job(i).outcome, JobOutcome::Ok) << "job " << i;
         ResultDigest d;
         mixCompileResult(d, b.results()[i]);
         EXPECT_EQ(d.h, oracleB[i]) << "job " << i;
@@ -507,15 +519,15 @@ TEST(FrontierFaults, StepBudgetTimesOutPerJob)
     auto handle = frontier.submit(std::move(jobs));
     handle.wait();
 
-    EXPECT_EQ(handle.outcome(3), JobOutcome::TimedOut);
-    EXPECT_NE(handle.errorOf(3).find("step budget"), std::string::npos)
-        << handle.errorOf(3);
-    EXPECT_FALSE(handle.ran(3));
+    EXPECT_EQ(handle.job(3).outcome, JobOutcome::TimedOut);
+    EXPECT_NE(handle.job(3).error.find("step budget"), std::string::npos)
+        << handle.job(3).error;
+    EXPECT_FALSE(handle.job(3).ran());
     EXPECT_FALSE(handle.results()[3].ok);
     for (std::size_t i = 0; i < loops.size(); ++i) {
         if (i == 3)
             continue;
-        EXPECT_EQ(handle.outcome(i), JobOutcome::Ok) << "job " << i;
+        EXPECT_EQ(handle.job(i).outcome, JobOutcome::Ok) << "job " << i;
         ResultDigest d;
         mixCompileResult(d, handle.results()[i]);
         EXPECT_EQ(d.h, oracle[i]) << "job " << i;
@@ -534,7 +546,7 @@ TEST(FrontierFaults, StepBudgetTimesOutPerJob)
     auto verify = frontier.submit(std::move(again));
     verify.wait();
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        ASSERT_EQ(verify.outcome(i), JobOutcome::Ok) << "job " << i;
+        ASSERT_EQ(verify.job(i).outcome, JobOutcome::Ok) << "job " << i;
         ResultDigest d;
         mixCompileResult(d, verify.results()[i]);
         EXPECT_EQ(d.h, oracle[i]) << "job " << i;
@@ -560,11 +572,11 @@ TEST(FrontierFaults, SoftDeadlineTimesOut)
     auto handle = frontier.submit(std::move(jobs));
     handle.wait();
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        EXPECT_EQ(handle.outcome(i), JobOutcome::TimedOut)
+        EXPECT_EQ(handle.job(i).outcome, JobOutcome::TimedOut)
             << "job " << i;
-        EXPECT_NE(handle.errorOf(i).find("soft deadline"),
+        EXPECT_NE(handle.job(i).error.find("soft deadline"),
                   std::string::npos)
-            << handle.errorOf(i);
+            << handle.job(i).error;
     }
     EXPECT_EQ(handle.status().timedOut, loops.size());
 }
@@ -590,11 +602,11 @@ TEST(FrontierFaults, RejectPolicyRefusesOversizedBatch)
     EXPECT_EQ(s.rejected, loops.size());
     EXPECT_EQ(s.compiled, 0u);
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        EXPECT_EQ(handle.outcome(i), JobOutcome::Rejected);
-        EXPECT_NE(handle.errorOf(i).find("admission control"),
+        EXPECT_EQ(handle.job(i).outcome, JobOutcome::Rejected);
+        EXPECT_NE(handle.job(i).error.find("admission control"),
                   std::string::npos)
-            << handle.errorOf(i);
-        EXPECT_FALSE(handle.ran(i));
+            << handle.job(i).error;
+        EXPECT_FALSE(handle.job(i).ran());
         EXPECT_FALSE(handle.results()[i].ok);
     }
     EXPECT_EQ(handle.cancel(), 0u); // nothing queued to drop
@@ -631,9 +643,9 @@ TEST(FrontierFaults, RejectPolicyFastFailsWhenQueueIsFull)
     auto refused = frontier.submit(jobsFor(one, m));
 
     EXPECT_TRUE(refused.status().done);
-    EXPECT_EQ(refused.outcome(0), JobOutcome::Rejected);
-    EXPECT_NE(refused.errorOf(0).find("queue full"), std::string::npos)
-        << refused.errorOf(0);
+    EXPECT_EQ(refused.job(0).outcome, JobOutcome::Rejected);
+    EXPECT_NE(refused.job(0).error.find("queue full"), std::string::npos)
+        << refused.job(0).error;
 
     admitted.wait();
     EXPECT_EQ(admitted.status().compiled, 2u);
@@ -645,7 +657,7 @@ TEST(FrontierFaults, RejectPolicyFastFailsWhenQueueIsFull)
     // With room freed, the same jobs are admitted.
     auto retry = frontier.submit(jobsFor(one, m));
     retry.wait();
-    EXPECT_EQ(retry.outcome(0), JobOutcome::Ok);
+    EXPECT_EQ(retry.job(0).outcome, JobOutcome::Ok);
 }
 
 TEST(FrontierFaults, BlockPolicyParksSubmitterUntilRoom)
@@ -720,8 +732,8 @@ TEST(FrontierFaults, DestructorDrainsFailingJobs)
     EXPECT_EQ(s.failed, loops.size());
     EXPECT_EQ(s.compiled, 0u);
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        EXPECT_EQ(handle.outcome(i), JobOutcome::Failed) << "job " << i;
-        EXPECT_NE(handle.errorOf(i).find("tenant is down"),
+        EXPECT_EQ(handle.job(i).outcome, JobOutcome::Failed) << "job " << i;
+        EXPECT_NE(handle.job(i).error.find("tenant is down"),
                   std::string::npos)
             << "job " << i;
         EXPECT_FALSE(handle.results()[i].ok);
@@ -752,11 +764,11 @@ TEST(FrontierFaults, HandleOutlivesFrontierWithMixedOutcomes)
     }
     for (std::size_t i = 0; i < loops.size(); ++i) {
         if (i % 2 == 1) {
-            EXPECT_EQ(handle.outcome(i), JobOutcome::TimedOut)
+            EXPECT_EQ(handle.job(i).outcome, JobOutcome::TimedOut)
                 << "job " << i;
-            EXPECT_FALSE(handle.errorOf(i).empty()) << "job " << i;
+            EXPECT_FALSE(handle.job(i).error.empty()) << "job " << i;
         } else {
-            EXPECT_EQ(handle.outcome(i), JobOutcome::Ok) << "job " << i;
+            EXPECT_EQ(handle.job(i).outcome, JobOutcome::Ok) << "job " << i;
             ResultDigest d;
             mixCompileResult(d, handle.results()[i]);
             EXPECT_EQ(d.h, oracle[i]) << "job " << i;
@@ -777,9 +789,9 @@ TEST(FrontierFaults, CancelAfterFailureIsIdempotentNoOp)
     Frontier frontier(1);
     auto handle = frontier.submit(jobsFor(loops, m));
     handle.wait();
-    EXPECT_EQ(handle.outcome(0), JobOutcome::Ok);
-    EXPECT_EQ(handle.outcome(1), JobOutcome::Failed);
-    EXPECT_EQ(handle.outcome(2), JobOutcome::Ok);
+    EXPECT_EQ(handle.job(0).outcome, JobOutcome::Ok);
+    EXPECT_EQ(handle.job(1).outcome, JobOutcome::Failed);
+    EXPECT_EQ(handle.job(2).outcome, JobOutcome::Ok);
 
     // cancel() on a finished batch with failures: still a no-op,
     // outcomes and counters untouched.
@@ -791,7 +803,7 @@ TEST(FrontierFaults, CancelAfterFailureIsIdempotentNoOp)
     EXPECT_EQ(s.compiled, 2u);
     EXPECT_EQ(s.failed, 1u);
     EXPECT_EQ(s.dropped, 0u);
-    EXPECT_EQ(handle.outcome(1), JobOutcome::Failed);
+    EXPECT_EQ(handle.job(1).outcome, JobOutcome::Failed);
 }
 
 TEST(FrontierFaults, DestructionAfterCancelWithFailuresInFlight)
@@ -823,13 +835,13 @@ TEST(FrontierFaults, DestructionAfterCancelWithFailuresInFlight)
     EXPECT_EQ(s.compiled, 0u);
     EXPECT_EQ(s.failed + s.dropped, s.total);
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        const JobOutcome outcome = handle.outcome(i);
+        const JobOutcome outcome = handle.job(i).outcome;
         ASSERT_TRUE(outcome == JobOutcome::Failed ||
                     outcome == JobOutcome::Cancelled)
             << "job " << i << ": " << toString(outcome);
         if (outcome == JobOutcome::Failed)
-            EXPECT_FALSE(handle.errorOf(i).empty()) << "job " << i;
-        EXPECT_FALSE(handle.ran(i)) << "job " << i;
+            EXPECT_FALSE(handle.job(i).error.empty()) << "job " << i;
+        EXPECT_FALSE(handle.job(i).ran()) << "job " << i;
     }
 }
 
@@ -924,9 +936,9 @@ TEST(FrontierEnvFaults, ScheduleInvariantsHold)
         handle.wait();
         const std::size_t c = h % machs.size();
         for (std::size_t i = 0; i < loops.size(); ++i) {
-            const JobOutcome outcome = handle.outcome(i);
+            const JobOutcome outcome = handle.job(i).outcome;
             if (outcome == JobOutcome::Ok) {
-                EXPECT_TRUE(handle.ran(i));
+                EXPECT_TRUE(handle.job(i).ran());
                 ResultDigest d;
                 mixCompileResult(d, handle.results()[i]);
                 EXPECT_EQ(d.h, oracle[c][i])
@@ -936,8 +948,8 @@ TEST(FrontierEnvFaults, ScheduleInvariantsHold)
                 ASSERT_TRUE(outcome == JobOutcome::Failed ||
                             outcome == JobOutcome::TimedOut)
                     << toString(outcome);
-                EXPECT_FALSE(handle.errorOf(i).empty());
-                EXPECT_FALSE(handle.ran(i));
+                EXPECT_FALSE(handle.job(i).error.empty());
+                EXPECT_FALSE(handle.job(i).ran());
                 EXPECT_FALSE(handle.results()[i].ok);
             }
         }
@@ -977,7 +989,7 @@ TEST(FrontierEnvFaults, ScheduleInvariantsHold)
     auto after = frontier.submit(jobsFor(loops, machs[0]));
     after.wait();
     for (std::size_t i = 0; i < loops.size(); ++i) {
-        ASSERT_EQ(after.outcome(i), JobOutcome::Ok) << "job " << i;
+        ASSERT_EQ(after.job(i).outcome, JobOutcome::Ok) << "job " << i;
         ResultDigest d;
         mixCompileResult(d, after.results()[i]);
         EXPECT_EQ(d.h, oracle[0][i]) << "job " << i;

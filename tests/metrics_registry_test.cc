@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Metrics registry tests: owned instruments, pull collectors, and the
+ * Prometheus text exposition (family sorting, label rendering,
+ * cumulative histogram buckets, series deduplication), plus the
+ * end-to-end scrape wiring of Frontier and ResultCache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "eval/frontier.hh"
+#include "eval/metrics_registry.hh"
+#include "eval/result_cache.hh"
+#include "machine/config.hh"
+#include "workloads/suite.hh"
+
+namespace cvliw
+{
+namespace
+{
+
+/** Count occurrences of @p needle in @p hay. */
+std::size_t
+countOf(const std::string &hay, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+TEST(MetricsRegistry, OwnedInstrumentsRoundTrip)
+{
+    auto &reg = MetricsRegistry::global();
+    auto &c = reg.counter("cvliw_test_counter_total", "test counter");
+    auto &g = reg.gauge("cvliw_test_gauge", "test gauge");
+    auto &h = reg.histogram("cvliw_test_hist_ms", "test histogram");
+
+    c.inc();
+    c.inc(41);
+    g.set(-2.5);
+    h.record(3.0);
+    h.record(900.0);
+
+    // Same name -> same instrument.
+    EXPECT_EQ(&c, &reg.counter("cvliw_test_counter_total", "other"));
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_DOUBLE_EQ(g.value(), -2.5);
+    EXPECT_EQ(h.snapshot().count, 2u);
+
+    const std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("# HELP cvliw_test_counter_total test counter"),
+              std::string::npos);
+    EXPECT_NE(out.find("# TYPE cvliw_test_counter_total counter"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_test_counter_total 42"),
+              std::string::npos);
+    EXPECT_NE(out.find("# TYPE cvliw_test_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_test_gauge -2.5"), std::string::npos);
+    EXPECT_NE(out.find("# TYPE cvliw_test_hist_ms histogram"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_test_hist_ms_bucket{le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_test_hist_ms_count 2"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, BuiltInCollectorsAlwaysPresent)
+{
+    const std::string out =
+        MetricsRegistry::global().renderPrometheus();
+    EXPECT_NE(out.find("cvliw_log_messages_total{level=\"warn\"}"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_faultpoints_armed"), std::string::npos);
+    EXPECT_NE(out.find("cvliw_trace_armed"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CollectorsEmitAndDeregister)
+{
+    auto &reg = MetricsRegistry::global();
+    const auto id = reg.addCollector([](MetricsEmitter &em) {
+        em.counter("cvliw_test_pull_total", "pulled", 7.0,
+                   {{"shard", "a"}});
+        em.counter("cvliw_test_pull_total", "", 9.0, {{"shard", "b"}});
+    });
+    std::string out = reg.renderPrometheus();
+    EXPECT_NE(out.find("cvliw_test_pull_total{shard=\"a\"} 7"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_test_pull_total{shard=\"b\"} 9"),
+              std::string::npos);
+    // One HELP/TYPE line for the family, not one per series.
+    EXPECT_EQ(countOf(out, "# TYPE cvliw_test_pull_total"), 1u);
+
+    reg.removeCollector(id);
+    out = reg.renderPrometheus();
+    EXPECT_EQ(out.find("cvliw_test_pull_total"), std::string::npos);
+}
+
+TEST(MetricsRegistry, SeriesDedupedAndLabelsEscaped)
+{
+    auto &reg = MetricsRegistry::global();
+    const auto id = reg.addCollector([](MetricsEmitter &em) {
+        em.gauge("cvliw_test_dedup", "dup", 1.0, {{"k", "v"}});
+        em.gauge("cvliw_test_dedup", "", 2.0, {{"k", "v"}});
+        em.gauge("cvliw_test_escape", "esc", 1.0,
+                 {{"k", "a\"b\\c\nd"}});
+    });
+    const std::string out = reg.renderPrometheus();
+    reg.removeCollector(id);
+
+    // Last write wins; only one series for the duplicated label set.
+    EXPECT_EQ(countOf(out, "cvliw_test_dedup{k=\"v\"}"), 1u);
+    EXPECT_NE(out.find("cvliw_test_dedup{k=\"v\"} 2"),
+              std::string::npos);
+    // Quote, backslash and newline are escaped per the text format.
+    EXPECT_NE(out.find("cvliw_test_escape{k=\"a\\\"b\\\\c\\nd\"} 1"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulative)
+{
+    auto &reg = MetricsRegistry::global();
+    LatencyHistogram h;
+    h.record(0.5);
+    h.record(2.0);
+    h.record(2.5);
+    const auto snap = h.snapshot();
+    const auto id = reg.addCollector([snap](MetricsEmitter &em) {
+        em.histogram("cvliw_test_cum_ms", "cumulative", snap);
+    });
+    const std::string out = reg.renderPrometheus();
+    reg.removeCollector(id);
+
+    // Walk the rendered buckets: values never decrease and +Inf
+    // equals _count.
+    std::istringstream is(out);
+    std::string line;
+    double prev = 0.0;
+    bool in_family = false, saw_inf = false;
+    while (std::getline(is, line)) {
+        if (line.rfind("cvliw_test_cum_ms_bucket{", 0) == 0) {
+            in_family = true;
+            const double v =
+                std::stod(line.substr(line.rfind(' ') + 1));
+            EXPECT_GE(v, prev) << line;
+            prev = v;
+            if (line.find("le=\"+Inf\"") != std::string::npos) {
+                saw_inf = true;
+                EXPECT_DOUBLE_EQ(v, 3.0);
+            }
+        }
+    }
+    EXPECT_TRUE(in_family);
+    EXPECT_TRUE(saw_inf);
+    EXPECT_NE(out.find("cvliw_test_cum_ms_count 3"),
+              std::string::npos);
+}
+
+TEST(MetricsRegistry, FamiliesSortedByName)
+{
+    const std::string out =
+        MetricsRegistry::global().renderPrometheus();
+    // Collect every family name from its TYPE line; they must come
+    // out sorted (std::map order).
+    std::istringstream is(out);
+    std::string line, prev;
+    while (std::getline(is, line)) {
+        if (line.rfind("# TYPE ", 0) != 0)
+            continue;
+        const std::string name =
+            line.substr(7, line.rfind(' ') - 7);
+        EXPECT_LE(prev, name);
+        prev = name;
+    }
+}
+
+TEST(MetricsRegistry, FrontierAndCacheAppearInScrape)
+{
+    const auto suite = buildBenchmark("swim");
+    const auto m = MachineConfig::fromString("2c1b2l64r");
+
+    ResultCache cache;
+    Frontier frontier(2);
+    std::vector<Frontier::Job> jobs;
+    PipelineOptions opts;
+    opts.resultCache = &cache;
+    for (const auto &loop : suite)
+        jobs.push_back(Frontier::Job{&loop.ddg, &m, &opts});
+    TenantOptions tenant;
+    tenant.tenant = "scrape-test";
+    auto handle = frontier.submit(jobs, tenant);
+    handle.wait();
+    // Same batch again: all result-cache hits.
+    frontier.submit(jobs, tenant).wait();
+
+    const std::string out =
+        MetricsRegistry::global().renderPrometheus();
+    EXPECT_NE(out.find("cvliw_frontier_jobs_submitted_total"),
+              std::string::npos);
+    EXPECT_NE(out.find("outcome=\"ok\""), std::string::npos);
+    EXPECT_NE(out.find("cvliw_tenant_jobs_total"), std::string::npos);
+    EXPECT_NE(out.find("tenant=\"scrape-test\""), std::string::npos);
+    EXPECT_NE(out.find("cvliw_tenant_job_latency_ms_bucket"),
+              std::string::npos);
+    EXPECT_NE(out.find("cvliw_resultcache_requests_total"),
+              std::string::npos);
+    EXPECT_NE(out.find("result=\"hit\""), std::string::npos);
+    EXPECT_GT(cache.stats().hits, 0u); // the scrape showed real hits
+}
+
+TEST(MetricsRegistry, DeregisteredComponentsLeaveNoSeries)
+{
+    std::string label;
+    {
+        Frontier frontier(1);
+        const auto suite = buildBenchmark("swim");
+        const auto m = MachineConfig::fromString("2c1b2l64r");
+        std::vector<Frontier::Job> jobs{
+            Frontier::Job{&suite[0].ddg, &m, nullptr}};
+        TenantOptions tenant;
+        tenant.tenant = "ephemeral-tenant";
+        frontier.submit(jobs, tenant).wait();
+        const std::string out =
+            MetricsRegistry::global().renderPrometheus();
+        EXPECT_NE(out.find("tenant=\"ephemeral-tenant\""),
+                  std::string::npos);
+    }
+    const std::string out =
+        MetricsRegistry::global().renderPrometheus();
+    EXPECT_EQ(out.find("tenant=\"ephemeral-tenant\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace cvliw

@@ -77,6 +77,71 @@ TEST(Metrics, LatencyHistogramIsDeterministic)
         EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
 }
 
+TEST(Metrics, LatencyHistogramMergeEqualsCombinedStream)
+{
+    // merge() must be exact aggregation: two shards merged give the
+    // same buckets, count, sum and quantiles as one histogram fed
+    // every sample (the registry scrape merges per-tenant shards).
+    LatencyHistogram a, b, combined;
+    for (int i = 1; i <= 200; ++i) {
+        const double ms = 0.05 * i * i; // spans several buckets
+        ((i % 3 == 0) ? a : b).record(ms);
+        combined.record(ms);
+    }
+    LatencyHistogram merged;
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), combined.count());
+    EXPECT_DOUBLE_EQ(merged.maxMs(), combined.maxMs());
+    EXPECT_DOUBLE_EQ(merged.sumMs(), combined.sumMs());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(merged.quantile(q), combined.quantile(q))
+            << "q=" << q;
+    const auto ms = merged.snapshot();
+    const auto cs = combined.snapshot();
+    for (int bkt = 0; bkt < LatencyHistogram::kBuckets; ++bkt)
+        EXPECT_EQ(ms.buckets[bkt], cs.buckets[bkt]) << "bucket " << bkt;
+}
+
+TEST(Metrics, LatencyHistogramMergeEmptyIsIdentity)
+{
+    LatencyHistogram h, empty;
+    h.record(2.0);
+    h.record(8.0);
+    const auto before = h.snapshot();
+    h.merge(empty);
+    const auto after = h.snapshot();
+    EXPECT_EQ(after.count, before.count);
+    EXPECT_DOUBLE_EQ(after.sumMs, before.sumMs);
+    EXPECT_DOUBLE_EQ(after.maxMs, before.maxMs);
+
+    // Merging into an empty histogram copies the source exactly.
+    LatencyHistogram fresh;
+    fresh.merge(h);
+    EXPECT_EQ(fresh.count(), h.count());
+    EXPECT_DOUBLE_EQ(fresh.quantile(0.5), h.quantile(0.5));
+}
+
+TEST(Metrics, LatencyHistogramSnapshotShape)
+{
+    LatencyHistogram h;
+    h.record(0.5);   // 500us -> bucket [256us, 512us)
+    h.record(100.0); // 100ms
+    const auto s = h.snapshot();
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_DOUBLE_EQ(s.sumMs, 100.5);
+    EXPECT_DOUBLE_EQ(s.maxMs, 100.0);
+    std::uint64_t total = 0;
+    for (int b = 0; b < LatencyHistogram::kBuckets; ++b)
+        total += s.buckets[b];
+    EXPECT_EQ(total, 2u);
+    // Bucket edges are monotone powers of two in ms.
+    EXPECT_DOUBLE_EQ(LatencyHistogram::Snapshot::bucketEdgeMs(0),
+                     0.001);
+    EXPECT_LT(LatencyHistogram::Snapshot::bucketEdgeMs(10),
+              LatencyHistogram::Snapshot::bucketEdgeMs(11));
+}
+
 TEST(Metrics, HarmonicMean)
 {
     EXPECT_DOUBLE_EQ(hmean({2.0, 2.0}), 2.0);

@@ -88,6 +88,32 @@ TEST(Logging, VerbositySwitch)
     SUCCEED();
 }
 
+TEST(Logging, LevelsAndCallCounting)
+{
+    // Every cv_warn/cv_inform *call* is counted, printed or not -
+    // the registry's cvliw_log_messages_total must see suppressed
+    // messages too.
+    const auto warns0 = logging::warnCount();
+    const auto informs0 = logging::informCount();
+    logging::setLevel(logging::Level::Silent);
+    cv_warn("suppressed warn");
+    cv_inform("suppressed inform");
+    EXPECT_EQ(logging::warnCount(), warns0 + 1);
+    EXPECT_EQ(logging::informCount(), informs0 + 1);
+
+    logging::setLevel(logging::Level::Info);
+    EXPECT_EQ(logging::level(), logging::Level::Info);
+    cv_inform("printed inform");
+    EXPECT_EQ(logging::informCount(), informs0 + 2);
+
+    // cv_warn_once fires its warn once; repeats count as calls.
+    for (int i = 0; i < 3; ++i)
+        cv_warn_once("once only ", i);
+    EXPECT_EQ(logging::warnCount(), warns0 + 4);
+
+    logging::setLevel(logging::Level::Warn); // restore the default
+}
+
 TEST(Logging, AssertPassesOnTrue)
 {
     cv_assert(1 + 1 == 2, "arithmetic works");

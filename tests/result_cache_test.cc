@@ -624,8 +624,8 @@ TEST(ResultCacheService, LeaderCancellationMidDedupIsWellDefined)
     follower_batch.wait();
     faults::disarm();
 
-    ASSERT_EQ(leader_batch.outcome(0), JobOutcome::Ok);
-    ASSERT_EQ(follower_batch.outcome(0), JobOutcome::Ok);
+    ASSERT_EQ(leader_batch.job(0).outcome, JobOutcome::Ok);
+    ASSERT_EQ(follower_batch.job(0).outcome, JobOutcome::Ok);
     EXPECT_EQ(digestOf(leader_batch.results()[0]), oracle);
     EXPECT_EQ(digestOf(follower_batch.results()[0]), oracle);
 
@@ -672,7 +672,7 @@ TEST(ResultCacheEnvFaults, DedupInvariantsHoldUnderInjection)
     faults::disarm();
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        const JobOutcome outcome = handle.outcome(i);
+        const JobOutcome outcome = handle.job(i).outcome;
         if (outcome == JobOutcome::Ok) {
             EXPECT_EQ(digestOf(handle.results()[i]), oracle[i / 2])
                 << "job " << i;
@@ -680,7 +680,7 @@ TEST(ResultCacheEnvFaults, DedupInvariantsHoldUnderInjection)
             ASSERT_TRUE(outcome == JobOutcome::Failed ||
                         outcome == JobOutcome::TimedOut)
                 << toString(outcome);
-            EXPECT_FALSE(handle.errorOf(i).empty());
+            EXPECT_FALSE(handle.job(i).error.empty());
         }
     }
     const ResultCacheStats mid = cache.stats();
@@ -692,7 +692,7 @@ TEST(ResultCacheEnvFaults, DedupInvariantsHoldUnderInjection)
     auto after = frontier.submit(jobs);
     after.wait();
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-        ASSERT_EQ(after.outcome(i), JobOutcome::Ok) << "job " << i;
+        ASSERT_EQ(after.job(i).outcome, JobOutcome::Ok) << "job " << i;
         EXPECT_EQ(digestOf(after.results()[i]), oracle[i / 2])
             << "job " << i;
     }
